@@ -1,0 +1,24 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures at full
+size and prints the rows, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction harness.  The heavyweight context (built
+applications, analysis plans, memoized runs) is shared session-wide.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+def run_and_print(benchmark, run_fn, format_fn):
+    """Run an experiment once under the benchmark timer and print it."""
+    rows = benchmark.pedantic(run_fn, rounds=1, iterations=1)
+    print()
+    print(format_fn(rows))
+    return rows

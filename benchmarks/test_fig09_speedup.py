@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (speedup per configuration)."""
+
+from repro.experiments import fig09_speedup
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig09_speedup(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: fig09_speedup.run(ctx),
+        fig09_speedup.format_rows,
+    )
+    geo = rows[-1]
+    # paper shapes: every configuration >= baseline; consumer priority
+    # grows with the pre-launch window and saturates near 3
+    assert geo["prelaunch"] > 1.0
+    assert geo["producer"] >= geo["prelaunch"]
+    assert geo["consumer4"] >= geo["consumer3"] >= geo["consumer2"] - 0.05
+    gain_3 = geo["consumer3"] - geo["consumer2"]
+    gain_4 = geo["consumer4"] - geo["consumer3"]
+    assert gain_4 <= gain_3 + 0.05  # diminishing returns

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 10 (normalized TB concurrency)."""
+
+from repro.experiments import fig10_concurrency
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig10_concurrency(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: fig10_concurrency.run(ctx),
+        fig10_concurrency.format_rows,
+    )
+    geo = rows[-1]
+    # fine-grain resolution raises concurrency over coarse pre-launching
+    assert geo["producer"] >= geo["prelaunch"]
+    assert geo["consumer4"] >= 1.0
+    by_name = {r["benchmark"]: r for r in rows}
+    # the independent-kernel pairs double their concurrency
+    assert by_name["bicg"]["producer"] > 1.8
+    assert by_name["mvt"]["producer"] > 1.8

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 11 (dependency stall distribution)."""
+
+from repro.experiments import fig11_stalls
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig11_stalls(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: fig11_stalls.run(ctx),
+        fig11_stalls.format_rows,
+    )
+    by_key = {(r["benchmark"], r["model"]): r for r in rows}
+    for name in ("bicg", "mvt"):
+        # paper: "their dramatic stall reduction" — independent kernels
+        assert by_key[(name, "consumer3")]["median"] < (
+            by_key[(name, "baseline")]["median"]
+        )
+    medians_down = sum(
+        1
+        for (name, model), row in by_key.items()
+        if model == "consumer3"
+        and row["median"] <= by_key[(name, "baseline")]["median"] + 1e-9
+    )
+    assert medians_down >= 10  # most benchmarks improve

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 12 (interconnectivity sweep)."""
+
+from repro.experiments import fig12_interconnectivity
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig12_interconnectivity(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: fig12_interconnectivity.run(ctx),
+        fig12_interconnectivity.format_rows,
+    )
+    by_size = {r["num_tbs"]: r for r in rows}
+    # decay with degree: past the counter threshold the curve sits on
+    # the fully-connected reference
+    for size, row in by_size.items():
+        top_degree = max(
+            d for d in (128, 256) if row.get("deg{}".format(d)) is not None
+        )
+        assert row["deg{}".format(top_degree)] == row["fully_connected"]
+    # decay with size: the smallest workloads gain the most, and the
+    # benefit has essentially vanished by 2048 TBs
+    assert by_size[256]["deg1"] > by_size[2048]["deg1"]
+    assert by_size[2048]["deg1"] < 1.2

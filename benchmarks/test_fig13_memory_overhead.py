@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 13 (memory request overhead)."""
+
+from repro.experiments import fig13_memory_overhead
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig13_memory_overhead(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: fig13_memory_overhead.run(ctx),
+        fig13_memory_overhead.format_rows,
+    )
+    avg = rows[-1]["overhead_pct"]
+    # paper: ~1.36% average; shape requirement: small single-digit
+    assert 0.0 < avg < 5.0
+    for row in rows[:-1]:
+        assert row["overhead_pct"] < 15.0

@@ -1,0 +1,21 @@
+"""Benchmark: the pattern census across the whole suite."""
+
+from repro.experiments import pattern_census
+
+from benchmarks.conftest import run_and_print
+
+
+def test_pattern_census(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: pattern_census.run(ctx),
+        pattern_census.format_rows,
+    )
+    by_name = {r["benchmark"]: r for r in rows}
+    # per-benchmark structure facts
+    assert by_name["gaussian"]["pairs"] == 509
+    assert by_name["gaussian"]["collapsed"] > 100
+    assert by_name["fft"]["1to1"] > 40          # butterfly stages
+    assert by_name["hs"]["ovlp"] == 9           # stencil halos
+    assert by_name["bicg"]["ind"] == 1          # independent pair
+    assert by_name["alexnet"]["fc"] >= 5        # conv/fc layers

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table II (benchmark inventory)."""
+
+from repro.experiments import table2_benchmarks
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table2_benchmarks(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: table2_benchmarks.run(ctx),
+        table2_benchmarks.format_rows,
+    )
+    assert len(rows) == 12
+    for row in rows:
+        assert row["kernels"] == row["paper_kernels"]
+        detected = set(int(p) for p in row["patterns"].split(",") if p)
+        paper = set(int(p) for p in row["paper_patterns"].split(",") if p)
+        # detected patterns overlap the paper's for every benchmark
+        assert detected & paper, row

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table III (dependency graph storage)."""
+
+import pytest
+
+from repro.experiments import table3_storage
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table3_storage(benchmark, ctx):
+    rows = run_and_print(
+        benchmark,
+        lambda: table3_storage.run(ctx),
+        table3_storage.format_rows,
+    )
+    by_name = {r["benchmark"]: r for r in rows}
+    # paper shape: BICG/MVT excluded (no dependencies), stencil apps at
+    # exactly 1, encodable apps well below 1, average below 1
+    assert by_name["bicg"]["ratio"] is None
+    assert by_name["mvt"]["ratio"] is None
+    for name in ("fdtd-2d", "fft", "hs", "nw", "path"):
+        assert by_name[name]["ratio"] == pytest.approx(1.0)
+    for name in ("3mm", "alexnet", "gaussian", "gramschm"):
+        assert by_name[name]["ratio"] < 0.6
+    assert by_name["average"]["ratio"] < 0.9

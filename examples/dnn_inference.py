@@ -1,0 +1,67 @@
+"""DNN inference: BlockMaestro on the AlexNet workload (paper Table II).
+
+Shows the per-layer dependency patterns the analysis extracts from a
+22-kernel CNN pipeline — fully connected for conv/fc layers, 1-to-1 for
+activations, 1-to-n/n-to-1 around pooling and normalization — and why a
+compute-dominated network gains only modestly from pre-launching
+(the paper reports 6.9% for AlexNet) while still increasing thread-block
+concurrency.
+
+Run:  python examples/dnn_inference.py
+"""
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import BlockMaestroModel, PrelaunchOnly, SerializedBaseline
+from repro.workloads.tango import build_alexnet
+
+
+def main():
+    app = build_alexnet()
+    print(app.describe())
+
+    runtime = BlockMaestroRuntime()
+    plan = runtime.plan(app, reorder=True, window=4)
+
+    print("\nPer-layer dependency patterns (vs the previous layer):")
+    print("{:>10s}  {:>6s}  {:>16s}  {:>8s}  {:>9s}".format(
+        "layer", "blocks", "pattern", "edges", "collapsed"))
+    for kp in plan.kernels:
+        if kp.encoded is None:
+            print("{:>10s}  {:>6d}  {:>16s}".format(kp.name, kp.num_tbs, "-"))
+            continue
+        print("{:>10s}  {:>6d}  {:>16s}  {:>8d}  {:>9s}".format(
+            kp.name,
+            kp.num_tbs,
+            kp.encoded.original_pattern.pattern.value,
+            kp.encoded.original.num_edges,
+            "yes" if kp.encoded.collapsed else "no",
+        ))
+
+    baseline = SerializedBaseline().run(runtime.plan(app, reorder=False))
+    prelaunch = PrelaunchOnly(window=2).run(runtime.plan(app, reorder=True, window=2))
+    consumer = BlockMaestroModel(
+        window=4, policy=SchedulingPolicy.CONSUMER_PRIORITY
+    ).run(plan)
+
+    print("\nEnd-to-end inference latency:")
+    for name, stats in (
+        ("baseline", baseline),
+        ("prelaunch", prelaunch),
+        ("consumer4", consumer),
+    ):
+        print("  {:10s} {:10.1f} us  speedup {:5.2f}x  concurrency {:6.1f}".format(
+            name,
+            stats.makespan_ns / 1000,
+            stats.speedup_over(baseline),
+            stats.avg_tb_concurrency(),
+        ))
+    print(
+        "\nCompute-dominated layers leave little launch overhead to hide —"
+        "\nthe win comes from overlapping activation/pool layers with the"
+        "\ntail of each convolution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Streams, with and without BlockMaestro (paper Section III-C).
+
+Three independent 4-stage pipelines, written two ways: interleaved into
+the default stream (legacy code) and one CUDA stream per pipeline
+(hand-optimized).  BlockMaestro extracts the cross-pipeline concurrency
+from the legacy version automatically — and still helps the stream
+version by pre-launching and overlapping within each stream.
+
+Run:  python examples/multi_stream.py
+"""
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import BlockMaestroModel, SerializedBaseline
+from repro.sim.timeline import render_kernel_timeline
+from repro.workloads.streams import build_pipelines
+
+
+def main():
+    runtime = BlockMaestroRuntime()
+    single = build_pipelines(pipelines=3, stages=4, use_streams=False)
+    multi = build_pipelines(pipelines=3, stages=4, use_streams=True)
+
+    base_single = SerializedBaseline().run(
+        runtime.plan(single, reorder=False, window=1)
+    )
+    base_multi = SerializedBaseline().run(
+        runtime.plan(multi, reorder=False, window=1)
+    )
+    bm_single = BlockMaestroModel(
+        window=4, policy=SchedulingPolicy.CONSUMER_PRIORITY
+    ).run(runtime.plan(single, reorder=True, window=4))
+
+    print("=== baseline, single stream (legacy code) ===")
+    print(render_kernel_timeline(base_single, width=64))
+    print()
+    print("=== baseline, one stream per pipeline (hand-optimized) ===")
+    print(render_kernel_timeline(base_multi, width=64))
+    print()
+    print("=== BlockMaestro on the single-stream code ===")
+    print(render_kernel_timeline(bm_single, width=64))
+    print()
+    ref = base_single.makespan_ns
+    print("baseline single-stream : {:8.1f} us (1.00x)".format(ref / 1000))
+    print("baseline streams       : {:8.1f} us ({:.2f}x)".format(
+        base_multi.makespan_ns / 1000, ref / base_multi.makespan_ns))
+    print("BlockMaestro single    : {:8.1f} us ({:.2f}x)".format(
+        bm_single.makespan_ns / 1000, ref / bm_single.makespan_ns))
+    print(
+        "\nBlockMaestro recovers the streams' concurrency from unmodified"
+        "\nsingle-stream code — no stream management required."
+    )
+
+
+if __name__ == "__main__":
+    main()

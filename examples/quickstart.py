@@ -1,0 +1,114 @@
+"""Quickstart: BlockMaestro on a two-kernel producer/consumer pipeline.
+
+This walks the whole public API surface:
+
+1. write kernels in mini-PTX and build an application (host API trace);
+2. run the kernel-launch-time analysis and inspect the extracted
+   thread-block dependency graph and its Table I pattern;
+3. simulate the application under the serialized baseline and under
+   BlockMaestro, and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.patterns import classify_pattern
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import BlockMaestroModel, SerializedBaseline
+from repro.workloads import AppBuilder
+
+SQUARE = """
+.visible .entry square (.param .u64 IN0, .param .u64 OUT)
+{
+    ld.param.u64 %rdA, [IN0];
+    ld.param.u64 %rdB, [OUT];
+    mov.u32 %r1, %ctaid.x;
+    mad.lo.u32 %ri, %r1, %ntid.x, %tid.x;
+    mul.wide.u32 %rd1, %ri, 4;
+    add.u64 %rd2, %rdA, %rd1;
+    ld.global.f32 %f1, [%rd2];
+    mul.f32 %f2, %f1, %f1;
+    add.u64 %rd3, %rdB, %rd1;
+    st.global.f32 [%rd3], %f2;
+    ret;
+}
+"""
+
+SMOOTH = """
+.visible .entry smooth (.param .u64 IN0, .param .u64 OUT)
+{
+    ld.param.u64 %rdA, [IN0];
+    ld.param.u64 %rdB, [OUT];
+    mov.u32 %r1, %ctaid.x;
+    mad.lo.u32 %ri, %r1, %ntid.x, %tid.x;
+    mul.wide.u32 %rd1, %ri, 4;
+    add.u64 %rd2, %rdA, %rd1;
+    ld.global.f32 %f1, [%rd2-4];
+    ld.global.f32 %f2, [%rd2];
+    ld.global.f32 %f3, [%rd2+4];
+    add.f32 %f4, %f1, %f2;
+    add.f32 %f5, %f4, %f3;
+    add.u64 %rd3, %rdB, %rd1;
+    st.global.f32 [%rd3], %f5;
+    ret;
+}
+"""
+
+
+def build_app(num_tbs=128, threads=256):
+    n = num_tbs * threads
+    builder = AppBuilder("quickstart")
+    x = builder.alloc("X", n * 4)
+    tmp = builder.alloc("TMP", n * 4)
+    y = builder.alloc("Y", n * 4)
+    builder.h2d(x)
+    builder.launch(
+        SQUARE, grid=num_tbs, block=threads, args={"IN0": x, "OUT": tmp},
+        intensity=6.0,
+    )
+    builder.launch(
+        SMOOTH, grid=num_tbs, block=threads, args={"IN0": tmp, "OUT": y},
+        intensity=6.0,
+    )
+    builder.d2h(y)
+    return builder.build()
+
+
+def main():
+    app = build_app()
+    print(app.describe())
+
+    runtime = BlockMaestroRuntime()
+    plan = runtime.plan(app, reorder=True, window=2)
+
+    # --- what the launch-time analysis extracted -----------------------
+    smooth = plan.kernels[1]
+    graph = smooth.encoded.original
+    pattern = classify_pattern(graph)
+    print("\nDependency graph square -> smooth:")
+    print("  kind     :", graph.kind.value)
+    print("  edges    :", graph.num_edges)
+    print("  pattern  : {} (Table I row {})".format(
+        pattern.pattern.value, pattern.pattern.table1_number))
+    print("  block 5 depends on producer blocks:", graph.parents_of(5))
+    print("  encoded  : {} bytes (plain {} bytes)".format(
+        smooth.encoded.encoded_bytes, smooth.encoded.plain_bytes))
+
+    # --- simulate -------------------------------------------------------
+    baseline = SerializedBaseline().run(runtime.plan(app, reorder=False))
+    blockmaestro = BlockMaestroModel(
+        window=2, policy=SchedulingPolicy.CONSUMER_PRIORITY
+    ).run(plan)
+
+    print("\nSimulation:")
+    print("  baseline     : {:8.1f} us".format(baseline.makespan_ns / 1000))
+    print("  BlockMaestro : {:8.1f} us".format(blockmaestro.makespan_ns / 1000))
+    print("  speedup      : {:.2f}x".format(blockmaestro.speedup_over(baseline)))
+    print("  median stall : {:.2f} -> {:.2f} (normalized to TB time)".format(
+        baseline.stall_quartiles()[1], blockmaestro.stall_quartiles()[1]))
+    print("  mem overhead : {:.2f}%".format(
+        100 * blockmaestro.memory_overhead_fraction()))
+
+
+if __name__ == "__main__":
+    main()

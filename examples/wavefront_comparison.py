@@ -1,0 +1,78 @@
+"""Task-model shoot-out on a wavefront workload (paper Fig. 14).
+
+One Smith-Waterman-style wavefront application (anti-diagonal levels
+with heavy-tailed task durations) runs under four execution models:
+
+* CDP              — device-side per-level launches (Tasks as Kernels)
+* BlockMaestro     — producer priority, window 2
+* Wireframe        — mega-kernel, buffer-constrained run-ahead
+* BlockMaestro     — consumer priority, window 4 (unconstrained)
+
+Run:  python examples/wavefront_comparison.py
+"""
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import BlockMaestroModel, CDPModel, WireframeModel
+from repro.workloads.wavefront import build_wavefront
+
+
+def main():
+    app = build_wavefront(
+        "sw_demo",
+        side=64,
+        parents=3,
+        intensity=3.0,
+        straggler_factor=5.0,
+        straggler_fraction=0.15,
+    )
+    print(app.describe())
+    print("tasks:", app.metadata["tasks"], " levels:", app.metadata["levels"])
+
+    runtime = BlockMaestroRuntime()
+    models = [
+        ("cdp", CDPModel(), False, 1),
+        (
+            "bm-producer",
+            BlockMaestroModel(
+                window=2, policy=SchedulingPolicy.PRODUCER_PRIORITY
+            ),
+            True,
+            2,
+        ),
+        ("wireframe", WireframeModel(), True, 3),
+        (
+            "bm-consumer",
+            BlockMaestroModel(
+                window=4, policy=SchedulingPolicy.CONSUMER_PRIORITY
+            ),
+            True,
+            4,
+        ),
+    ]
+    results = {}
+    for name, model, reorder, window in models:
+        plan = runtime.plan(app, reorder=reorder, window=window)
+        results[name] = model.run(plan)
+
+    cdp = results["cdp"]
+    print("\n{:>14s} {:>12s} {:>10s} {:>12s}".format(
+        "model", "makespan", "vs CDP", "concurrency"))
+    for name, _, _, _ in models:
+        stats = results[name]
+        print("{:>14s} {:>10.1f}us {:>9.2f}x {:>12.1f}".format(
+            name,
+            stats.makespan_ns / 1000,
+            stats.speedup_over(cdp),
+            stats.avg_tb_concurrency(),
+        ))
+    print(
+        "\nWireframe removes launch overheads but its pending-update"
+        "\nbuffers cap run-ahead; BlockMaestro keeps dependency state in"
+        "\nglobal memory (paying the small Fig. 13 traffic) and runs ahead"
+        "\nfreely under consumer priority."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""BlockMaestro (ISCA 2021) — a complete Python reproduction.
+
+Programmer-transparent task-based execution for GPUs: kernel
+pre-launching, command-queue reordering, launch-time extraction of
+thread-block-level dependency graphs, and hardware dependency
+resolution — plus every substrate the paper's evaluation needs (a
+mini-PTX frontend, a thread-block-granularity GPU simulator, a
+CUDA-like host model, the Table II benchmark suite, and the
+CDP/Wireframe comparison models).
+
+Quick tour::
+
+    from repro import AppBuilder, BlockMaestroRuntime
+    from repro.models import SerializedBaseline, BlockMaestroModel
+
+    builder = AppBuilder("app")
+    x = builder.alloc("X", 1 << 20)
+    y = builder.alloc("Y", 1 << 20)
+    builder.h2d(x)
+    builder.launch(PTX_SOURCE, grid=128, block=256, args={"IN0": x, "OUT": y})
+    app = builder.build()
+
+    runtime = BlockMaestroRuntime()
+    plan = runtime.plan(app, reorder=True, window=2)
+    stats = BlockMaestroModel(window=2).run(plan)
+
+See README.md for the full walkthrough, DESIGN.md for the paper-to-
+module map and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+from repro.core.dependency_graph import BipartiteGraph, build_bipartite_graph
+from repro.core.patterns import DependencyPattern, classify_pattern
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime, RuntimePlan
+from repro.ptx.parser import parse_kernel, parse_module
+from repro.sim.config import GPUConfig
+from repro.sim.stats import RunStats
+from repro.workloads.base import AppBuilder, Application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppBuilder",
+    "Application",
+    "BipartiteGraph",
+    "BlockMaestroRuntime",
+    "DependencyPattern",
+    "GPUConfig",
+    "LaunchConfig",
+    "RunStats",
+    "RuntimePlan",
+    "SchedulingPolicy",
+    "analyze_kernel",
+    "build_bipartite_graph",
+    "classify_pattern",
+    "parse_kernel",
+    "parse_module",
+    "__version__",
+]

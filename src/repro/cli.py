@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                          — the benchmark suite (Table II)
+* ``analyze <workload>``            — run launch-time analysis, print
+                                      per-kernel patterns and storage
+* ``run <workload> [--model M]``    — simulate and print a timeline
+* ``compare <workload>``            — all roster models side by side
+* ``experiments [names...]``        — regenerate paper tables/figures
+* ``ablations``                     — the design-choice sweeps
+"""
+
+import argparse
+import sys
+
+from repro.core.runtime import BlockMaestroRuntime
+from repro.experiments.common import (
+    STANDARD_MODELS,
+    ExperimentContext,
+    _make_model,
+    _model_plan_params,
+    format_table,
+)
+from repro.sim.timeline import compare_timelines, render_kernel_timeline
+from repro.workloads import all_workloads, get_workload
+
+MODEL_NAMES = [m[0] for m in STANDARD_MODELS]
+
+
+def cmd_list(_args):
+    rows = [
+        {
+            "name": spec.name,
+            "suite": spec.suite,
+            "kernels": spec.paper_kernels,
+            "patterns": ",".join(str(p) for p in spec.paper_patterns),
+            "description": spec.description,
+        }
+        for spec in all_workloads()
+    ]
+    print(
+        format_table(
+            rows,
+            ["name", "suite", "kernels", "patterns", "description"],
+            title="Benchmark suite (paper Table II)",
+        )
+    )
+
+
+def cmd_analyze(args):
+    app = get_workload(args.workload).build()
+    runtime = BlockMaestroRuntime()
+    plan = runtime.plan(app, reorder=True, window=args.window)
+    rows = []
+    for kp in plan.kernels[: args.limit]:
+        enc = kp.encoded
+        rows.append(
+            {
+                "kernel": kp.name,
+                "blocks": kp.num_tbs,
+                "pattern": "-" if enc is None else enc.original_pattern.pattern.value,
+                "edges": "-" if enc is None else enc.original.num_edges,
+                "collapsed": "-" if enc is None else ("yes" if enc.collapsed else "no"),
+                "encoded_B": "-" if enc is None else enc.encoded_bytes,
+                "fallback": kp.summary.fallback or "-",
+            }
+        )
+    print(
+        format_table(
+            rows,
+            ["kernel", "blocks", "pattern", "edges", "collapsed", "encoded_B", "fallback"],
+            title="Launch-time analysis: {} (first {} kernels)".format(
+                app.name, args.limit
+            ),
+        )
+    )
+    print(
+        "\ntotal dependency-graph storage: {} B encoded / {} B plain".format(
+            plan.graph_encoded_bytes, plan.graph_plain_bytes
+        )
+    )
+    print(
+        "analysis wall time: {:.1f} ms total, {:.2f} ms per launch "
+        "(JIT-time work, masked by pre-launching)".format(
+            plan.analysis_seconds * 1e3,
+            plan.analysis_seconds_per_kernel() * 1e3,
+        )
+    )
+
+
+def cmd_run(args):
+    app = get_workload(args.workload).build()
+    ctx = ExperimentContext()
+    ctx.register_app(app)
+    stats = ctx.run_model(app, args.model)
+    print(render_kernel_timeline(stats, width=args.width))
+    print()
+    print("model     :", stats.model)
+    print("makespan  : {:.1f} us".format(stats.makespan_ns / 1000))
+    print("concurrency: {:.1f} avg thread blocks".format(stats.avg_tb_concurrency()))
+    q1, med, q3 = stats.stall_quartiles()
+    print("stalls    : q1={:.2f} median={:.2f} q3={:.2f}".format(q1, med, q3))
+
+
+def cmd_compare(args):
+    app = get_workload(args.workload).build()
+    ctx = ExperimentContext()
+    ctx.register_app(app)
+    runs = [ctx.run_model(app, name) for name in MODEL_NAMES]
+    baseline = runs[0]
+    rows = [
+        {
+            "model": stats.model,
+            "makespan_us": stats.makespan_ns / 1000,
+            "speedup": stats.speedup_over(baseline),
+            "concurrency": stats.avg_tb_concurrency(),
+        }
+        for stats in runs
+    ]
+    print(
+        format_table(
+            rows,
+            ["model", "makespan_us", "speedup", "concurrency"],
+            title="Model comparison: {}".format(app.name),
+        )
+    )
+    if args.timelines:
+        print()
+        print(compare_timelines(runs[:1] + runs[2:], width=args.width))
+
+
+def cmd_dot(args):
+    app = get_workload(args.workload).build()
+    runtime = BlockMaestroRuntime()
+    plan = runtime.plan(app, reorder=True, window=3)
+    kernels = [kp for kp in plan.kernels if kp.encoded is not None]
+    if not kernels:
+        raise SystemExit("workload has no dependent kernel pairs")
+    index = max(0, min(args.pair, len(kernels) - 1))
+    kp = kernels[index]
+    parent = plan.kernels[kp.chain_prev]
+    print(
+        kp.encoded.original.to_dot(
+            parent_label=parent.name, child_label=kp.name,
+            max_nodes=args.max_nodes,
+        )
+    )
+
+
+def cmd_validate(args):
+    """Functional replay validation: simulate, replay the block start
+    order at real values, diff against serialized execution."""
+    from repro.models import BlockMaestroModel
+    from repro.sim.funcsim import FunctionalSimulator, schedule_from_stats
+    from repro.core.policy import SchedulingPolicy
+
+    spec = get_workload(args.workload)
+    app = spec.build_small()
+    print(app.describe(), "(scaled-down variant)")
+    runtime = BlockMaestroRuntime(hazards=("raw", "war", "waw"))
+    plan = runtime.plan(app, reorder=True, window=args.window)
+    golden = FunctionalSimulator(app.allocator).run_application(app)
+    for policy in SchedulingPolicy:
+        stats = BlockMaestroModel(window=args.window, policy=policy).run(plan)
+        replayed = FunctionalSimulator(app.allocator).run_application(
+            app, tb_order=schedule_from_stats(stats)
+        )
+        verdict = "PASS" if replayed == golden else "FAIL"
+        print(
+            "  {:10s} policy: {} ({} thread blocks replayed)".format(
+                policy.value, verdict, len(stats.tb_records)
+            )
+        )
+        if verdict == "FAIL":
+            raise SystemExit(1)
+    print("schedules preserve program semantics.")
+
+
+def cmd_experiments(args):
+    from repro.experiments import runner
+
+    runner.run_all(args.names or None)
+
+
+def cmd_ablations(_args):
+    from repro.experiments import ablations
+
+    ablations.main()
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="BlockMaestro reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    p_analyze = sub.add_parser("analyze", help="launch-time analysis report")
+    p_analyze.add_argument("workload")
+    p_analyze.add_argument("--window", type=int, default=3)
+    p_analyze.add_argument("--limit", type=int, default=24)
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload")
+    p_run.add_argument("--model", choices=MODEL_NAMES, default="consumer3")
+    p_run.add_argument("--width", type=int, default=72)
+
+    p_compare = sub.add_parser("compare", help="all models on one workload")
+    p_compare.add_argument("workload")
+    p_compare.add_argument("--timelines", action="store_true")
+    p_compare.add_argument("--width", type=int, default=72)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p_exp.add_argument("names", nargs="*")
+
+    p_dot = sub.add_parser("dot", help="Graphviz DOT of a kernel-pair graph")
+    p_dot.add_argument("workload")
+    p_dot.add_argument("--pair", type=int, default=0)
+    p_dot.add_argument("--max-nodes", type=int, default=32)
+
+    p_val = sub.add_parser(
+        "validate", help="functional replay check on a scaled-down workload"
+    )
+    p_val.add_argument("workload")
+    p_val.add_argument("--window", type=int, default=3)
+
+    sub.add_parser("ablations", help="design-choice sweeps")
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "dot": cmd_dot,
+    "validate": cmd_validate,
+    "analyze": cmd_analyze,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "experiments": cmd_experiments,
+    "ablations": cmd_ablations,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

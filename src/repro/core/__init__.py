@@ -1,0 +1,46 @@
+"""BlockMaestro core: the paper's primary contribution.
+
+Subpackages/modules:
+
+* :mod:`repro.core.dependency_graph` — bipartite thread-block dependency
+  graphs between consecutive kernels (paper Fig. 1) and their builder.
+* :mod:`repro.core.patterns` — Table I dependency-pattern detection.
+* :mod:`repro.core.encoding` — pattern-aware graph encodings and their
+  storage costs (Tables I and III).
+* :mod:`repro.core.hardware` — Dependency List Buffer / Parent Counter
+  Buffer model (Fig. 7) with memory-request accounting (Fig. 13).
+* :mod:`repro.core.reorder` — programmer-transparent command-queue
+  reordering (Fig. 5).
+* :mod:`repro.core.policy` — thread-block scheduling policies.
+* :mod:`repro.core.runtime` — the launch-time pipeline tying analysis,
+  graph construction and encoding together for an API trace.
+"""
+
+from repro.core.dependency_graph import (
+    BipartiteGraph,
+    GraphKind,
+    build_bipartite_graph,
+)
+from repro.core.patterns import DependencyPattern, classify_pattern
+from repro.core.encoding import encoded_bytes, plain_bytes
+from repro.core.policy import SchedulingPolicy
+from repro.core.reorder import reorder_trace
+from repro.core.runtime import BlockMaestroRuntime, KernelPlan, RuntimePlan
+from repro.core.hardware import DependencyHardware, HardwareConfig
+
+__all__ = [
+    "BipartiteGraph",
+    "GraphKind",
+    "build_bipartite_graph",
+    "DependencyPattern",
+    "classify_pattern",
+    "encoded_bytes",
+    "plain_bytes",
+    "SchedulingPolicy",
+    "reorder_trace",
+    "BlockMaestroRuntime",
+    "KernelPlan",
+    "RuntimePlan",
+    "DependencyHardware",
+    "HardwareConfig",
+]

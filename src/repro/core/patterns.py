@@ -1,0 +1,165 @@
+"""Dependency-pattern detection (paper Table I / Fig. 8).
+
+Inter-kernel thread-block dependency graphs are rarely arbitrary: SIMT
+code indexes memory with regular expressions of the block index, so the
+bipartite graphs fall into a small set of shapes the hardware can encode
+compactly.  :func:`classify_pattern` recognizes the seven patterns of
+Table I:
+
+1. fully connected          — every child depends on every parent
+2. n-group fully connected  — parent groups fully connected to
+                               disjoint child groups
+3. 1-to-1                   — child i depends exactly on parent i
+4. 1-to-n                   — each parent owns exclusive children
+5. n-to-1                   — each parent feeds at most one child
+6. overlapped               — children depend on sliding contiguous
+                               parent windows that share parents
+7. independent              — no edges
+
+plus ``arbitrary`` for anything else (stored as a plain list).
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+from repro.core.dependency_graph import BipartiteGraph, GraphKind
+
+
+class DependencyPattern(str, Enum):
+    FULLY_CONNECTED = "fully_connected"
+    N_GROUP = "n_group"
+    ONE_TO_ONE = "one_to_one"
+    ONE_TO_N = "one_to_n"
+    N_TO_ONE = "n_to_one"
+    OVERLAPPED = "overlapped"
+    INDEPENDENT = "independent"
+    ARBITRARY = "arbitrary"
+
+    @property
+    def table1_number(self):
+        """The paper's Table I row number for this pattern."""
+        return {
+            DependencyPattern.FULLY_CONNECTED: 1,
+            DependencyPattern.N_GROUP: 2,
+            DependencyPattern.ONE_TO_ONE: 3,
+            DependencyPattern.ONE_TO_N: 4,
+            DependencyPattern.N_TO_ONE: 5,
+            DependencyPattern.OVERLAPPED: 6,
+            DependencyPattern.INDEPENDENT: 7,
+            DependencyPattern.ARBITRARY: 0,
+        }[self]
+
+
+@dataclass
+class PatternInfo:
+    pattern: DependencyPattern
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+def classify_pattern(graph: BipartiteGraph) -> PatternInfo:
+    """Classify a bipartite graph into its Table I pattern.
+
+    Checks run from most to least specific among the mutually ambiguous
+    shapes (a 1-to-1 graph is also a degenerate n-group, 1-to-n and
+    n-to-1; the specific label wins, matching the paper's taxonomy).
+    """
+    if graph.kind is GraphKind.INDEPENDENT:
+        return PatternInfo(DependencyPattern.INDEPENDENT)
+    if graph.kind is GraphKind.FULLY_CONNECTED:
+        # A complete bipartite graph with a single parent (or child) is
+        # degenerate: the paper's taxonomy calls a one-producer fan-out
+        # 1-to-n and a many-producer fan-in n-to-1 (e.g. GAUSSIAN's
+        # Fan1->Fan2 and Fan2->Fan1 pairs).  True fully connected
+        # requires multiple blocks on both sides.
+        if graph.num_parents == 1 and graph.num_children == 1:
+            return PatternInfo(DependencyPattern.ONE_TO_ONE)
+        if graph.num_parents == 1:
+            return PatternInfo(
+                DependencyPattern.ONE_TO_N,
+                {"max_children_per_parent": graph.num_children},
+            )
+        if graph.num_children == 1:
+            return PatternInfo(
+                DependencyPattern.N_TO_ONE,
+                {"max_parents_per_child": graph.num_parents},
+            )
+        return PatternInfo(DependencyPattern.FULLY_CONNECTED)
+
+    children_of = graph.children_of
+    n, m = graph.num_parents, graph.num_children
+
+    if n == m and all(children_of[p] == (p,) for p in range(n)):
+        return PatternInfo(DependencyPattern.ONE_TO_ONE)
+
+    parents_of = [[] for _ in range(m)]
+    for p, children in enumerate(children_of):
+        for c in children:
+            parents_of[c].append(p)
+
+    if all(len(parents) <= 1 for parents in parents_of):
+        return PatternInfo(
+            DependencyPattern.ONE_TO_N,
+            {"max_children_per_parent": graph.max_parent_out_degree()},
+        )
+
+    if all(len(children) <= 1 for children in children_of):
+        return PatternInfo(
+            DependencyPattern.N_TO_ONE,
+            {"max_parents_per_child": graph.max_child_in_degree()},
+        )
+
+    groups = _match_n_group(children_of, parents_of)
+    if groups is not None:
+        return PatternInfo(DependencyPattern.N_GROUP, {"num_groups": groups})
+
+    if _match_overlapped(parents_of):
+        return PatternInfo(
+            DependencyPattern.OVERLAPPED,
+            {"max_degree": graph.max_child_in_degree()},
+        )
+
+    return PatternInfo(DependencyPattern.ARBITRARY)
+
+
+def _match_n_group(children_of, parents_of):
+    """n-group fully connected: parents sharing an identical child set
+    form a group, and every child in that set must have exactly that
+    parent group as its parents.  Returns the group count or ``None``."""
+    group_of_children = {}
+    for p, children in enumerate(children_of):
+        if not children:
+            continue
+        group_of_children.setdefault(children, []).append(p)
+    claimed_children = set()
+    for children, parent_group in group_of_children.items():
+        parent_set = sorted(parent_group)
+        for c in children:
+            if c in claimed_children:
+                return None  # child sets must be disjoint across groups
+            if parents_of[c] != parent_set:
+                return None
+            claimed_children.add(c)
+    return len(group_of_children) or None
+
+
+def _match_overlapped(parents_of):
+    """Overlapped/stencil: each child's parents form a contiguous window,
+    windows slide monotonically, and at least one parent is shared
+    between two children (otherwise the graph would be 1-to-n)."""
+    prev_lo = prev_hi = None
+    shared = False
+    seen_parents = set()
+    for parents in parents_of:
+        if not parents:
+            continue
+        lo, hi = parents[0], parents[-1]
+        if hi - lo + 1 != len(parents):
+            return False  # gap in the window
+        if prev_lo is not None and (lo < prev_lo or hi < prev_hi):
+            return False  # window moved backwards
+        prev_lo, prev_hi = lo, hi
+        if seen_parents.intersection(parents):
+            shared = True
+        seen_parents.update(parents)
+    return shared

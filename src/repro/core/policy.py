@@ -1,0 +1,27 @@
+"""Thread-block scheduling policies (paper Section III-D).
+
+* **Producer priority** (BlockMaestro's default): thread blocks of the
+  producing (older) kernel are always preferred; consumer blocks are not
+  scheduled until every producer block has been scheduled.  This drains
+  producers fast, resolving the most dependencies per unit time.
+* **Consumer priority**: ready consumer blocks are preferred, letting
+  dependent kernels "run ahead" — more cross-kernel overlap (and the 2x
+  result against Wireframe in Fig. 14), at the cost of slower producer
+  completion.
+
+Neither policy can deadlock: a consumer block only becomes schedulable
+once its dependencies are satisfied, so consumers can never starve the
+producer indefinitely — eventually consumer blocks stall on unmet
+dependencies and producer blocks get the free slots.
+"""
+
+from enum import Enum
+
+
+class SchedulingPolicy(str, Enum):
+    PRODUCER_PRIORITY = "producer"
+    CONSUMER_PRIORITY = "consumer"
+
+    @property
+    def prefers_consumer(self):
+        return self is SchedulingPolicy.CONSUMER_PRIORITY

@@ -1,0 +1,152 @@
+"""Shared experiment machinery: model roster, plan caching, tables."""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime, RuntimePlan
+from repro.models import (
+    BlockMaestroModel,
+    IdealBaseline,
+    PrelaunchOnly,
+    SerializedBaseline,
+)
+from repro.sim.config import GPUConfig
+from repro.workloads import all_workloads
+
+#: The Fig. 9 model roster: (name, factory(gpu_config), reorder, window)
+STANDARD_MODELS = (
+    ("baseline", SerializedBaseline, False, 1),
+    ("ideal", IdealBaseline, False, 1),
+    ("prelaunch", PrelaunchOnly, True, 2),
+    ("producer", None, True, 2),  # producer-priority BlockMaestro
+    ("consumer2", None, True, 2),
+    ("consumer3", None, True, 3),
+    ("consumer4", None, True, 4),
+)
+
+
+def _make_model(name, gpu_config):
+    if name == "baseline":
+        return SerializedBaseline(gpu_config)
+    if name == "ideal":
+        return IdealBaseline(gpu_config)
+    if name == "prelaunch":
+        return PrelaunchOnly(gpu_config, window=2)
+    if name == "producer":
+        return BlockMaestroModel(
+            gpu_config,
+            window=2,
+            policy=SchedulingPolicy.PRODUCER_PRIORITY,
+            name="producer",
+        )
+    if name.startswith("consumer"):
+        window = int(name[len("consumer"):])
+        return BlockMaestroModel(
+            gpu_config,
+            window=window,
+            policy=SchedulingPolicy.CONSUMER_PRIORITY,
+            name=name,
+        )
+    raise KeyError("unknown model %r" % name)
+
+
+@dataclass
+class ExperimentContext:
+    """Caches applications, plans and run results across experiments.
+
+    One context per process keeps the full Fig. 9-13 sweep affordable:
+    an application is built once, analyzed once per (reorder, window)
+    pair, and each model's simulation result is memoized.
+    """
+
+    gpu_config: GPUConfig = field(default_factory=GPUConfig)
+    runtime: BlockMaestroRuntime = None
+    _apps: Dict[str, object] = field(default_factory=dict)
+    _plans: Dict[Tuple[str, bool, int], RuntimePlan] = field(default_factory=dict)
+    _runs: Dict[Tuple[str, str], object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.runtime is None:
+            self.runtime = BlockMaestroRuntime(self.gpu_config)
+
+    # ------------------------------------------------------------------
+    def app(self, name, **overrides):
+        key = name if not overrides else "{}|{}".format(name, sorted(overrides.items()))
+        if key not in self._apps:
+            for spec in all_workloads():
+                if spec.name == name:
+                    self._apps[key] = spec.build(**overrides)
+                    break
+            else:
+                raise KeyError("unknown workload %r" % name)
+        return self._apps[key]
+
+    def register_app(self, app):
+        """Register an externally built application (microbenchmarks)."""
+        self._apps[app.name] = app
+        return app
+
+    def plan_for(self, app, reorder, window):
+        key = (app.name, reorder, window)
+        if key not in self._plans:
+            self._plans[key] = self.runtime.plan(
+                app, reorder=reorder, window=window
+            )
+        return self._plans[key]
+
+    def run_model(self, app, model_name):
+        """Run one roster model on one app, memoized."""
+        key = (app.name, model_name)
+        if key not in self._runs:
+            reorder, window = _model_plan_params(model_name)
+            plan = self.plan_for(app, reorder, window)
+            model = _make_model(model_name, self.gpu_config)
+            self._runs[key] = model.run(plan)
+        return self._runs[key]
+
+    def run_all(self, app, model_names=None):
+        names = model_names or [m[0] for m in STANDARD_MODELS]
+        return {name: self.run_model(app, name) for name in names}
+
+
+def _model_plan_params(model_name):
+    for name, _factory, reorder, window in STANDARD_MODELS:
+        if name == model_name:
+            return reorder, window
+    raise KeyError("unknown model %r" % model_name)
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(rows, columns, title=None):
+    """Render dict rows as a fixed-width text table."""
+    widths = {
+        col: max(len(col), *(len(_fmt(r.get(col))) for r in rows)) if rows else len(col)
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "{:.3f}".format(value)
+    return str(value)

@@ -1,0 +1,67 @@
+"""Figure 12: interconnectivity analysis.
+
+Sweeps the dependency degree of a two-kernel VectorAdd microbenchmark
+(n-group pattern with groups of ``degree``) for several workload sizes
+(thread blocks per kernel), reporting BlockMaestro's speedup over the
+serialized baseline, plus the fully-connected reference (pre-launch
+only) each curve converges to.
+
+Expected shape (paper): benefits decay as the degree grows and flatten
+to the fully-connected level once the degree crosses the encodable
+threshold; larger workloads gain less (execution swamps the launch
+overhead), with the speedup essentially gone by 2048 blocks per kernel.
+"""
+
+from repro.core.runtime import BlockMaestroRuntime
+from repro.core.policy import SchedulingPolicy
+from repro.experiments.common import ExperimentContext, format_table
+from repro.models import BlockMaestroModel, PrelaunchOnly, SerializedBaseline
+from repro.workloads.microbench import build_vecadd_pair
+
+SIZES = (128, 256, 512, 1024, 2048)
+DEGREES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def run(ctx: ExperimentContext = None, sizes=SIZES, degrees=DEGREES):
+    ctx = ctx or ExperimentContext()
+    baseline = SerializedBaseline(ctx.gpu_config)
+    fully_connected = PrelaunchOnly(ctx.gpu_config, window=2)
+    blockmaestro = BlockMaestroModel(
+        ctx.gpu_config,
+        window=2,
+        policy=SchedulingPolicy.PRODUCER_PRIORITY,
+        name="producer",
+    )
+    rows = []
+    for size in sizes:
+        row = {"num_tbs": size}
+        for degree in degrees:
+            if degree > size:
+                row["deg{}".format(degree)] = None
+                continue
+            app = build_vecadd_pair(num_tbs=size, degree=degree)
+            runtime = BlockMaestroRuntime(ctx.gpu_config)
+            base_stats = baseline.run(runtime.plan(app, reorder=False, window=1))
+            plan = runtime.plan(app, reorder=True, window=2)
+            bm_stats = blockmaestro.run(plan)
+            row["deg{}".format(degree)] = bm_stats.speedup_over(base_stats)
+            if degree == degrees[0]:
+                fc_stats = fully_connected.run(plan)
+                row["fully_connected"] = fc_stats.speedup_over(base_stats)
+        rows.append(row)
+    return rows
+
+
+def format_rows(rows):
+    columns = ["num_tbs"] + ["deg{}".format(d) for d in DEGREES] + ["fully_connected"]
+    return format_table(
+        rows, columns, title="Figure 12: speedup vs dependency degree"
+    )
+
+
+def main():
+    print(format_rows(run()))
+
+
+if __name__ == "__main__":
+    main()

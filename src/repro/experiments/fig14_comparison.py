@@ -1,0 +1,87 @@
+"""Figure 14: comparison with CDP and Wireframe on wavefront workloads.
+
+Six 4K-task wavefront applications run under four execution models:
+
+* **CDP** — device-side per-level launches at 3 us (the normalization
+  baseline);
+* **BlockMaestro producer priority** (window 2);
+* **Wireframe** — zero launch overhead, hardware dependency graph, but
+  run-ahead limited by its pending-update buffers;
+* **BlockMaestro consumer priority** (window 4) — unconstrained
+  run-ahead with dependency state in global memory.
+
+Expected shape (paper): producer-priority BlockMaestro edges out CDP
+(~6%), Wireframe is clearly better (~37%), and consumer-priority
+BlockMaestro beats Wireframe (~2x over CDP) because its run-ahead is
+not buffer-constrained.
+"""
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.experiments.common import ExperimentContext, format_table, geomean
+from repro.models import BlockMaestroModel, CDPModel, WireframeModel
+from repro.workloads.wavefront import WAVEFRONT_APPS, build_wavefront
+
+MODELS = ("cdp", "bm-producer", "wireframe", "bm-consumer")
+
+
+def run(ctx: ExperimentContext = None, side=64):
+    ctx = ctx or ExperimentContext()
+    cfg = ctx.gpu_config
+    models = {
+        "cdp": CDPModel(cfg),
+        "bm-producer": BlockMaestroModel(
+            cfg, window=2, policy=SchedulingPolicy.PRODUCER_PRIORITY, name="producer"
+        ),
+        "wireframe": WireframeModel(cfg),
+        "bm-consumer": BlockMaestroModel(
+            cfg, window=4, policy=SchedulingPolicy.CONSUMER_PRIORITY, name="consumer4"
+        ),
+    }
+    plan_params = {
+        "cdp": (False, 1),
+        "bm-producer": (True, 2),
+        "wireframe": (True, 3),
+        "bm-consumer": (True, 4),
+    }
+    rows = []
+    for name, parents, intensity, factor, fraction in WAVEFRONT_APPS:
+        app = build_wavefront(
+            name,
+            side=side,
+            parents=parents,
+            intensity=intensity,
+            straggler_factor=factor,
+            straggler_fraction=fraction,
+        )
+        runtime = BlockMaestroRuntime(cfg)
+        stats = {}
+        for model_name, model in models.items():
+            reorder, window = plan_params[model_name]
+            plan = runtime.plan(app, reorder=reorder, window=window)
+            stats[model_name] = model.run(plan)
+        row = {"benchmark": name}
+        for model_name in MODELS:
+            row[model_name] = stats[model_name].speedup_over(stats["cdp"])
+        rows.append(row)
+    summary = {"benchmark": "geomean"}
+    for model_name in MODELS:
+        summary[model_name] = geomean([r[model_name] for r in rows])
+    rows.append(summary)
+    return rows
+
+
+def format_rows(rows):
+    return format_table(
+        rows,
+        ["benchmark"] + list(MODELS),
+        title="Figure 14: speedup normalized to CDP",
+    )
+
+
+def main():
+    print(format_rows(run()))
+
+
+if __name__ == "__main__":
+    main()

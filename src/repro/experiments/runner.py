@@ -1,0 +1,92 @@
+"""Run every experiment and print (or save) all paper artifacts.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig09 tab3 # selected
+"""
+
+import sys
+import time
+
+from repro.experiments import common
+from repro.experiments import (
+    fig09_speedup,
+    fig10_concurrency,
+    fig11_stalls,
+    fig12_interconnectivity,
+    fig13_memory_overhead,
+    fig14_comparison,
+    pattern_census,
+    streams_study,
+    table1_overhead,
+    table2_benchmarks,
+    table3_storage,
+)
+
+EXPERIMENTS = {
+    "fig09": fig09_speedup,
+    "fig10": fig10_concurrency,
+    "fig11": fig11_stalls,
+    "fig12": fig12_interconnectivity,
+    "fig13": fig13_memory_overhead,
+    "fig14": fig14_comparison,
+    "tab1": table1_overhead,
+    "tab2": table2_benchmarks,
+    "tab3": table3_storage,
+    "streams": streams_study,
+    "census": pattern_census,
+}
+
+#: experiments that accept the shared ExperimentContext
+_CTX_AWARE = {"fig09", "fig10", "fig11", "fig13", "tab2", "tab3", "census"}
+
+
+def run_all(names=None, stream=sys.stdout):
+    names = list(names or EXPERIMENTS)
+    ctx = common.ExperimentContext()
+    results = {}
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.time()
+        if name in _CTX_AWARE:
+            rows = module.run(ctx)
+        elif name in ("fig12", "fig14"):
+            rows = module.run(common.ExperimentContext(gpu_config=ctx.gpu_config))
+        else:
+            rows = module.run()
+        elapsed = time.time() - start
+        results[name] = rows
+        stream.write(module.format_rows(rows))
+        stream.write("\n[{} finished in {:.1f}s]\n\n".format(name, elapsed))
+        stream.flush()
+    return results
+
+
+def main(argv=None):
+    argv = list(argv if argv is not None else sys.argv[1:])
+    output_path = None
+    if "--output" in argv:
+        idx = argv.index("--output")
+        try:
+            output_path = argv[idx + 1]
+        except IndexError:
+            raise SystemExit("--output requires a file path")
+        del argv[idx : idx + 2]
+    unknown = [a for a in argv if a not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            "unknown experiments {}; available: {}".format(
+                unknown, ", ".join(EXPERIMENTS)
+            )
+        )
+    if output_path:
+        with open(output_path, "w") as handle:
+            run_all(argv or None, stream=handle)
+        print("wrote", output_path)
+    else:
+        run_all(argv or None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Host-side substrate: GPU buffers, CUDA-like API traces and timing.
+
+GPU applications interact with the device through a serialized command
+queue of API calls (Section II-A of the paper).  This package models
+that host side: a global-memory allocator handing out :class:`Buffer`
+objects, the API call vocabulary (malloc / memcpy / kernel launch /
+synchronize), ordered :class:`APITrace` objects produced by the
+workload generators, and the host/device timing constants.
+"""
+
+from repro.host.buffers import Allocator, Buffer
+from repro.host.api import (
+    APICall,
+    DeviceSynchronize,
+    KernelLaunchCall,
+    MallocCall,
+    MemcpyD2H,
+    MemcpyH2D,
+    kernel_param_directions,
+)
+from repro.host.trace import APITrace, TraceError
+from repro.host.timing import HostTimingModel
+
+__all__ = [
+    "Allocator",
+    "Buffer",
+    "APICall",
+    "DeviceSynchronize",
+    "KernelLaunchCall",
+    "MallocCall",
+    "MemcpyD2H",
+    "MemcpyH2D",
+    "kernel_param_directions",
+    "APITrace",
+    "TraceError",
+    "HostTimingModel",
+]

@@ -1,0 +1,91 @@
+"""Device global-memory buffers and a bump allocator.
+
+Buffers live in a single flat byte-address space, mirroring how the
+analysis identifies inter-kernel dependencies: every region of global
+memory used by a kernel is allocated through an API call (``cudaMalloc``
+in the paper), so the base pointer passed at launch time identifies the
+region.  The allocator leaves guard gaps between buffers so that an
+over-approximated footprint from one buffer can never silently alias
+the next one.
+"""
+
+import bisect
+from dataclasses import dataclass
+
+from repro.analysis.intervals import Interval
+
+#: Buffers are aligned to this many bytes (matches cudaMalloc's 256B).
+ALIGNMENT = 256
+#: Unmapped guard bytes between consecutive allocations.  Kept large so
+#: halo reads past a buffer edge (stencil kernels read a few elements
+#: before/after their logical range) land in unmapped space instead of a
+#: neighbouring buffer, which would fabricate dependencies.
+GUARD_GAP = 4096
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One device allocation: ``[base, base + size)`` bytes."""
+
+    buffer_id: int
+    name: str
+    size: int
+    base: int
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+    def interval(self):
+        return Interval(self.base, self.end)
+
+    def contains(self, address):
+        return self.base <= address < self.end
+
+    def __str__(self):
+        return "{}#{}[{}B @0x{:x}]".format(self.name, self.buffer_id, self.size, self.base)
+
+
+class Allocator:
+    """Bump allocator over the flat device address space."""
+
+    def __init__(self, start_address=1 << 20):
+        self._next = start_address
+        self._buffers = []
+        self._bases = []
+
+    def allocate(self, size, name="buf"):
+        """Allocate ``size`` bytes; returns a :class:`Buffer`."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive, got %d" % size)
+        base = self._next
+        buffer = Buffer(
+            buffer_id=len(self._buffers), name=name, size=int(size), base=base
+        )
+        aligned_size = (size + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+        self._next = base + aligned_size + GUARD_GAP
+        self._buffers.append(buffer)
+        self._bases.append(base)
+        return buffer
+
+    @property
+    def buffers(self):
+        return tuple(self._buffers)
+
+    def buffer_at(self, address):
+        """The buffer containing ``address``, or ``None``."""
+        idx = bisect.bisect_right(self._bases, address) - 1
+        if idx >= 0 and self._buffers[idx].contains(address):
+            return self._buffers[idx]
+        return None
+
+    def buffers_overlapping(self, interval):
+        """All buffers intersecting the byte interval."""
+        out = []
+        idx = max(0, bisect.bisect_right(self._bases, interval.lo) - 1)
+        for buffer in self._buffers[idx:]:
+            if buffer.base >= interval.hi:
+                break
+            if buffer.interval().overlaps(interval):
+                out.append(buffer)
+        return out

@@ -1,0 +1,164 @@
+"""Ordered API traces and their dependency structure."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.host.api import (
+    APICall,
+    DeviceSynchronize,
+    EventRecord,
+    KernelLaunchCall,
+    MallocCall,
+    StreamSynchronize,
+    StreamWaitEvent,
+)
+
+
+class TraceError(Exception):
+    """A structurally invalid API trace."""
+
+
+@dataclass
+class APITrace:
+    """The serialized sequence of API calls an application issues.
+
+    This corresponds to the command-queue content of the paper's
+    Figure 5: program order as the host would emit it.  Execution models
+    may reorder it (preserving true dependencies) before simulation.
+    """
+
+    calls: List[APICall] = field(default_factory=list)
+
+    def append(self, call):
+        call.call_id = len(self.calls)
+        self.calls.append(call)
+        return call
+
+    def __iter__(self):
+        return iter(self.calls)
+
+    def __len__(self):
+        return len(self.calls)
+
+    def __getitem__(self, index):
+        return self.calls[index]
+
+    @property
+    def kernel_calls(self):
+        return [c for c in self.calls if c.is_kernel]
+
+    @property
+    def num_kernels(self):
+        return sum(1 for c in self.calls if c.is_kernel)
+
+    def validate(self):
+        """Check that every buffer is malloc'd before first use and that
+        kernel launches bind every declared parameter."""
+        defined = set()
+        for call in self.calls:
+            for buf in call.buffers_defined():
+                defined.add(buf.buffer_id)
+            used = list(call.buffers_read()) + list(call.buffers_written())
+            if isinstance(call, KernelLaunchCall):
+                used.extend(call.pointer_buffers().values())
+                declared = set(call.kernel.param_names)
+                bound = set(call.args)
+                missing = declared - bound
+                if missing:
+                    raise TraceError(
+                        "kernel {} launched without arguments {}".format(
+                            call.kernel.name, sorted(missing)
+                        )
+                    )
+            for buf in used:
+                if buf.buffer_id not in defined:
+                    raise TraceError(
+                        "call {} uses {} before allocation".format(call, buf)
+                    )
+        return self
+
+    def true_dependencies(self):
+        """Per call, the indices of earlier calls it truly depends on.
+
+        See :func:`compute_true_dependencies`.
+        """
+        return compute_true_dependencies(self.calls)
+
+
+def compute_true_dependencies(calls):
+    """Per call, indices of earlier calls it truly depends on.
+
+    Dependencies preserved (paper Section III-C, "identify the true
+    data dependencies between APIs ... and reorder"):
+
+    * RAW — the call reads a buffer an earlier call wrote;
+    * WAR — the call writes a buffer an earlier call read;
+    * WAW — the call writes a buffer an earlier call wrote;
+    * allocation — any use of a buffer depends on its malloc;
+    * synchronize — a DeviceSynchronize depends on all earlier calls
+      and all later calls depend on it (it is a full barrier in program
+      semantics; BlockMaestro *bypasses* the barrier at run time, but
+      reordering never moves calls across it in a dependency-violating
+      way).  A StreamSynchronize is the same barrier restricted to its
+      stream's calls.
+    """
+    deps = [set() for _ in calls]
+    last_writer = {}
+    last_readers = {}
+    malloc_of = {}
+    last_sync = None
+    last_stream_sync = {}
+    event_record = {}
+    pending_wait = {}  # stream -> latest StreamWaitEvent position
+    for i, call in enumerate(calls):
+        if isinstance(call, MallocCall):
+            malloc_of[call.buffer.buffer_id] = i
+        if last_sync is not None:
+            deps[i].add(last_sync)
+        stream_barrier = last_stream_sync.get(call.stream_id)
+        if stream_barrier is not None:
+            deps[i].add(stream_barrier)
+        wait_barrier = pending_wait.get(call.stream_id)
+        if wait_barrier is not None and wait_barrier != i:
+            deps[i].add(wait_barrier)
+        reads = call.buffers_read()
+        writes = call.buffers_written()
+        for buf in list(reads) + list(writes):
+            if buf.buffer_id in malloc_of:
+                deps[i].add(malloc_of[buf.buffer_id])
+        for buf in reads:
+            w = last_writer.get(buf.buffer_id)
+            if w is not None:
+                deps[i].add(w)
+        for buf in writes:
+            w = last_writer.get(buf.buffer_id)
+            if w is not None:
+                deps[i].add(w)
+            for r in last_readers.get(buf.buffer_id, ()):
+                deps[i].add(r)
+        for buf in reads:
+            last_readers.setdefault(buf.buffer_id, []).append(i)
+        for buf in writes:
+            last_writer[buf.buffer_id] = i
+            last_readers[buf.buffer_id] = []
+        if isinstance(call, DeviceSynchronize):
+            deps[i].update(range(i))
+            last_sync = i
+        elif isinstance(call, StreamSynchronize):
+            deps[i].update(
+                j for j in range(i) if calls[j].stream_id == call.stream_id
+            )
+            last_stream_sync[call.stream_id] = i
+        elif isinstance(call, EventRecord):
+            # recorded once the stream's earlier commands complete
+            deps[i].update(
+                j for j in range(i) if calls[j].stream_id == call.stream_id
+            )
+            event_record[call.event_id] = i
+        elif isinstance(call, StreamWaitEvent):
+            recorded_at = event_record.get(call.event_id)
+            if recorded_at is not None:
+                deps[i].add(recorded_at)
+            pending_wait[call.stream_id] = i
+        deps[i].discard(i)
+    return [sorted(d) for d in deps]

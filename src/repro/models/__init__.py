@@ -1,0 +1,42 @@
+"""Execution models.
+
+Every model simulates the same analyzed application
+(:class:`~repro.core.runtime.RuntimePlan`) under different scheduling
+semantics and returns a :class:`~repro.sim.stats.RunStats`:
+
+* :class:`SerializedBaseline` — default CUDA stream semantics: one
+  command at a time, 5 us launch overhead on the critical path
+  (paper Fig. 2a).
+* :class:`IdealBaseline` — the same with zero launch overhead (the
+  "ideal" reference bar of Fig. 9).
+* :class:`PrelaunchOnly` — kernel pre-launching with conservative
+  kernel-level blocking (Fig. 2b).
+* :class:`BlockMaestroModel` — pre-launching plus fine-grain TB-level
+  dependency resolution, producer- or consumer-priority (Fig. 2c).
+* :class:`CDPModel` — CUDA Dynamic Parallelism: device-side launches at
+  3 us, serialized between dependency levels (Fig. 14 baseline).
+* :class:`WireframeModel` — mega-kernel dependency-graph execution with
+  buffer-constrained run-ahead (Fig. 14 comparison).
+"""
+
+from repro.models.base import EngineOptions, ExecutionEngine, ExecutionModel
+from repro.models.standard import (
+    BlockMaestroModel,
+    IdealBaseline,
+    PrelaunchOnly,
+    SerializedBaseline,
+)
+from repro.models.cdp import CDPModel
+from repro.models.wireframe import WireframeModel
+
+__all__ = [
+    "EngineOptions",
+    "ExecutionEngine",
+    "ExecutionModel",
+    "SerializedBaseline",
+    "IdealBaseline",
+    "PrelaunchOnly",
+    "BlockMaestroModel",
+    "CDPModel",
+    "WireframeModel",
+]

@@ -1,0 +1,27 @@
+"""CUDA Dynamic Parallelism model (paper Fig. 14).
+
+CDP is a "Tasks as Kernels" execution model: each task level launches
+its successor from the device.  The paper models a CDP launch at 3 us
+(the 5 us host launch minus the 2 us API-call component, following the
+Kepler-based model of Wang et al. adjusted to modern launch times).
+
+Behaviourally a CDP run is the serialized baseline with the cheaper
+launch cost and no host API call on the critical path: each kernel
+(wavefront level) launches after its predecessor completes.
+"""
+
+from repro.models.base import EngineOptions, ExecutionModel
+
+
+class CDPModel(ExecutionModel):
+    def options(self):
+        timing = self.gpu_config.timing
+        return EngineOptions(
+            name="cdp",
+            window=1,
+            fine_grain=False,
+            strict_order=True,
+            blockmaestro_host=False,
+            launch_overhead_ns=timing.cdp_launch_ns,
+            api_call_ns=0.0,  # device-side launch: no host API call
+        )

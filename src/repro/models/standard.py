@@ -1,0 +1,96 @@
+"""The paper's main execution models (Figs. 2 and 9)."""
+
+from repro.core.policy import SchedulingPolicy
+from repro.models.base import EngineOptions, ExecutionModel
+from repro.sim.config import GPUConfig
+
+
+class SerializedBaseline(ExecutionModel):
+    """Default CUDA semantics: one command processed at a time, memory
+    APIs block the host, every kernel pays the full launch overhead on
+    the critical path (paper Fig. 2a)."""
+
+    def options(self):
+        timing = self.gpu_config.timing
+        return EngineOptions(
+            name="baseline",
+            window=1,
+            fine_grain=False,
+            strict_order=True,
+            blockmaestro_host=False,
+            launch_overhead_ns=timing.kernel_launch_total_ns,
+        )
+
+
+class IdealBaseline(ExecutionModel):
+    """The baseline with kernel launch overheads removed — the "ideal"
+    reference bar in Fig. 9.  Dependency stalls remain."""
+
+    def options(self):
+        return EngineOptions(
+            name="ideal",
+            window=1,
+            fine_grain=False,
+            strict_order=True,
+            blockmaestro_host=False,
+            launch_overhead_ns=0.0,
+        )
+
+
+class PrelaunchOnly(ExecutionModel):
+    """Kernel pre-launching alone (paper Fig. 2b): the command queue is
+    reordered and de-blocked so the next kernel's launch overhead
+    overlaps the current kernel's execution, but consumer thread blocks
+    are conservatively held until every producer block finished."""
+
+    def __init__(self, gpu_config: GPUConfig = None, window: int = 2):
+        super().__init__(gpu_config)
+        self.window = window
+
+    def options(self):
+        timing = self.gpu_config.timing
+        return EngineOptions(
+            name="prelaunch",
+            window=self.window,
+            fine_grain=False,
+            strict_order=False,
+            blockmaestro_host=True,
+            launch_overhead_ns=timing.kernel_launch_total_ns,
+        )
+
+
+class BlockMaestroModel(ExecutionModel):
+    """Full BlockMaestro (paper Fig. 2c): pre-launching plus hardware
+    TB-level dependency resolution.
+
+    ``window`` counts concurrently launched kernels (window = 1 +
+    pre-launched kernels); ``policy`` selects producer or consumer
+    priority.  The paper's headline configurations are
+    ``producer``/window 2 and ``consumer``/windows 2-4.
+    """
+
+    def __init__(
+        self,
+        gpu_config: GPUConfig = None,
+        window: int = 2,
+        policy: SchedulingPolicy = SchedulingPolicy.PRODUCER_PRIORITY,
+        name: str = None,
+    ):
+        super().__init__(gpu_config)
+        self.window = window
+        self.policy = policy
+        self._name = name or "blockmaestro-{}{}".format(
+            policy.value, window
+        )
+
+    def options(self):
+        timing = self.gpu_config.timing
+        return EngineOptions(
+            name=self._name,
+            window=self.window,
+            fine_grain=True,
+            policy=self.policy,
+            strict_order=False,
+            blockmaestro_host=True,
+            launch_overhead_ns=timing.kernel_launch_total_ns,
+        )

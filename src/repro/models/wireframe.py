@@ -1,0 +1,53 @@
+"""Wireframe model (paper Fig. 14).
+
+Wireframe [MICRO'17] is a "Tasks as Thread Blocks" design: the whole
+multi-kernel workload becomes a single mega-kernel whose thread blocks
+carry explicit programmer-specified dependencies, resolved by hardware.
+Two properties define its behaviour relative to BlockMaestro:
+
+* **no kernel launch overhead** — one mega-kernel is launched once, so
+  per-level launch costs vanish;
+* **buffer-constrained run-ahead** — dependency state lives in
+  size-constrained hardware *pending update buffers*, which the paper
+  found limits run-ahead to about three wavefront levels and caps how
+  many tasks can be tracked as ready at once.  (BlockMaestro keeps task
+  state in global memory and is not so constrained, at the price of the
+  Fig. 13 memory traffic.)
+
+We model this as the shared engine with zero launch overhead, fine-grain
+consumer-priority scheduling, a window of three concurrent levels, and a
+cap on ready-but-undispatched blocks per level.
+"""
+
+from repro.core.policy import SchedulingPolicy
+from repro.models.base import EngineOptions, ExecutionModel
+from repro.sim.config import GPUConfig
+
+#: Pending-update-buffer capacity, in tracked ready tasks per level.
+DEFAULT_PENDING_BUFFER_TASKS = 12
+
+
+class WireframeModel(ExecutionModel):
+    def __init__(
+        self,
+        gpu_config: GPUConfig = None,
+        run_ahead_levels: int = 3,
+        pending_buffer_tasks: int = DEFAULT_PENDING_BUFFER_TASKS,
+    ):
+        super().__init__(gpu_config)
+        self.run_ahead_levels = run_ahead_levels
+        self.pending_buffer_tasks = pending_buffer_tasks
+
+    def options(self):
+        return EngineOptions(
+            name="wireframe",
+            window=self.run_ahead_levels,
+            fine_grain=True,
+            policy=SchedulingPolicy.CONSUMER_PRIORITY,
+            strict_order=False,
+            blockmaestro_host=True,
+            launch_overhead_ns=0.0,
+            api_call_ns=0.0,  # tasks pre-loaded into the mega-kernel
+            ready_capacity=self.pending_buffer_tasks,
+            count_dependency_traffic=False,  # state stays on-chip
+        )

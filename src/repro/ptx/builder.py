@@ -1,0 +1,223 @@
+"""Programmatic construction of mini-PTX kernels.
+
+:class:`KernelBuilder` offers a thin fluent layer over the IR for tests
+and workload generators that prefer building :class:`Kernel` objects
+directly over emitting source text.  It hands out fresh registers,
+tracks labels, and provides helpers for the ubiquitous global-thread-
+index / address-computation idioms.
+"""
+
+import itertools
+
+from repro.ptx.errors import PTXValidationError
+from repro.ptx.isa import (
+    Immediate,
+    Instruction,
+    Label,
+    MemOperand,
+    Opcode,
+    ParamRef,
+    Register,
+    SpecialRegister,
+)
+from repro.ptx.module import Kernel, KernelParam
+
+
+class KernelBuilder:
+    """Incrementally build a :class:`Kernel`.
+
+    Example::
+
+        b = KernelBuilder("scale")
+        a = b.pointer_param("A")
+        out = b.pointer_param("B")
+        i = b.global_thread_index()
+        v = b.load_global_f32(a, index=i, elem_size=4)
+        b.store_global_f32(out, v, index=i, elem_size=4)
+        kernel = b.build()
+    """
+
+    def __init__(self, name):
+        self._name = name
+        self._params = []
+        self._instructions = []
+        self._labels = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def pointer_param(self, name):
+        """Declare a ``.u64`` pointer parameter and return a register
+        holding its loaded value."""
+        self._params.append(KernelParam(name, "u64", is_pointer=True))
+        reg = self.fresh("rd")
+        self.emit(
+            Opcode.LD_PARAM,
+            dtype="u64",
+            dsts=(reg,),
+            srcs=(MemOperand(ParamRef(name)),),
+        )
+        return reg
+
+    def scalar_param(self, name, dtype="u32"):
+        """Declare a scalar parameter and return a register with its value."""
+        self._params.append(KernelParam(name, dtype))
+        reg = self.fresh("r" if dtype.endswith("32") else "rd")
+        self.emit(
+            Opcode.LD_PARAM,
+            dtype=dtype,
+            dsts=(reg,),
+            srcs=(MemOperand(ParamRef(name)),),
+        )
+        return reg
+
+    def fresh(self, prefix="r"):
+        """Return a new unique virtual register."""
+        return Register("{}{}".format(prefix, next(self._counter)))
+
+    def label(self, name):
+        """Place a label at the current position."""
+        if name in self._labels:
+            raise PTXValidationError("duplicate label %r" % name)
+        self._labels[name] = len(self._instructions)
+        return Label(name)
+
+    # ------------------------------------------------------------------
+    # raw emission
+    # ------------------------------------------------------------------
+    def emit(self, opcode, dtype=None, dsts=(), srcs=(), **kwargs):
+        inst = Instruction(
+            opcode=opcode, dtype=dtype, dsts=tuple(dsts), srcs=tuple(srcs), **kwargs
+        )
+        self._instructions.append(inst)
+        return inst
+
+    # ------------------------------------------------------------------
+    # common idioms
+    # ------------------------------------------------------------------
+    def special(self, family, dim="x", dtype="u32"):
+        """``mov`` a special register into a fresh register."""
+        reg = self.fresh()
+        self.emit(
+            Opcode.MOV, dtype=dtype, dsts=(reg,), srcs=(SpecialRegister(family, dim),)
+        )
+        return reg
+
+    def global_thread_index(self, dim="x"):
+        """Compute ``ctaid * ntid + tid`` — the canonical flat index."""
+        ctaid = self.special("ctaid", dim)
+        reg = self.fresh()
+        self.emit(
+            Opcode.MAD_LO,
+            dtype="u32",
+            dsts=(reg,),
+            srcs=(ctaid, SpecialRegister("ntid", dim), SpecialRegister("tid", dim)),
+        )
+        return reg
+
+    def iadd(self, a, b, dtype="u32"):
+        reg = self.fresh("rd" if dtype.endswith("64") else "r")
+        self.emit(Opcode.ADD, dtype=dtype, dsts=(reg,), srcs=(_op(a), _op(b)))
+        return reg
+
+    def imul(self, a, b, dtype="u32"):
+        reg = self.fresh("rd" if dtype.endswith("64") else "r")
+        self.emit(Opcode.MUL_LO, dtype=dtype, dsts=(reg,), srcs=(_op(a), _op(b)))
+        return reg
+
+    def imad(self, a, b, c, dtype="u32"):
+        reg = self.fresh("rd" if dtype.endswith("64") else "r")
+        self.emit(
+            Opcode.MAD_LO, dtype=dtype, dsts=(reg,), srcs=(_op(a), _op(b), _op(c))
+        )
+        return reg
+
+    def byte_address(self, base_reg, index, elem_size):
+        """Compute ``base + index * elem_size`` as a 64-bit address."""
+        wide = self.fresh("rd")
+        self.emit(
+            Opcode.MUL_WIDE,
+            dtype="u32",
+            dsts=(wide,),
+            srcs=(_op(index), Immediate(elem_size)),
+        )
+        addr = self.fresh("rd")
+        self.emit(Opcode.ADD, dtype="u64", dsts=(addr,), srcs=(base_reg, wide))
+        return addr
+
+    def load_global_f32(self, base_reg, index, elem_size=4, offset=0):
+        addr = self.byte_address(base_reg, index, elem_size)
+        val = self.fresh("f")
+        self.emit(
+            Opcode.LD_GLOBAL,
+            dtype="f32",
+            dsts=(val,),
+            srcs=(MemOperand(addr, offset),),
+        )
+        return val
+
+    def store_global_f32(self, base_reg, value, index, elem_size=4, offset=0):
+        addr = self.byte_address(base_reg, index, elem_size)
+        self.emit(
+            Opcode.ST_GLOBAL,
+            dtype="f32",
+            dsts=(MemOperand(addr, offset),),
+            srcs=(value,),
+        )
+
+    def fadd(self, a, b):
+        reg = self.fresh("f")
+        self.emit(Opcode.ADD, dtype="f32", dsts=(reg,), srcs=(_op(a), _op(b)))
+        return reg
+
+    def fmul(self, a, b):
+        reg = self.fresh("f")
+        self.emit(Opcode.MUL, dtype="f32", dsts=(reg,), srcs=(_op(a), _op(b)))
+        return reg
+
+    def setp(self, compare, a, b, dtype="u32"):
+        pred = self.fresh("p")
+        self.emit(
+            Opcode.SETP,
+            dtype=dtype,
+            dsts=(pred,),
+            srcs=(_op(a), _op(b)),
+            compare=compare,
+        )
+        return pred
+
+    def branch(self, label_name, guard=None, negated=False):
+        self.emit(
+            Opcode.BRA,
+            srcs=(Label(label_name),),
+            guard=guard,
+            guard_negated=negated,
+        )
+
+    def barrier(self):
+        self.emit(Opcode.BAR_SYNC, srcs=(Immediate(0),))
+
+    def ret(self):
+        self.emit(Opcode.RET)
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """Finalize, validate and return the kernel."""
+        instructions = list(self._instructions)
+        if not instructions or not instructions[-1].is_terminator:
+            instructions.append(Instruction(opcode=Opcode.RET))
+        kernel = Kernel(
+            name=self._name,
+            params=list(self._params),
+            instructions=instructions,
+            labels=dict(self._labels),
+        )
+        return kernel.validate()
+
+
+def _op(value):
+    """Coerce ints/floats to immediates; pass operands through."""
+    if isinstance(value, (int, float)):
+        return Immediate(value)
+    return value

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the mini-PTX frontend."""
+
+
+class PTXError(Exception):
+    """Base class for all PTX-related errors."""
+
+
+class PTXParseError(PTXError):
+    """Raised when PTX source text cannot be parsed.
+
+    Carries the 1-based source line number when available so that
+    workload authors can locate the offending instruction.
+    """
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line {}: {}".format(line, message)
+        super().__init__(message)
+
+
+class PTXValidationError(PTXError):
+    """Raised when a structurally valid kernel violates an ISA rule.
+
+    Examples: a store with no source operand, a branch to an undefined
+    label, or a reference to an undeclared kernel parameter.
+    """

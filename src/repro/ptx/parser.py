@@ -1,0 +1,356 @@
+"""Text parser for the mini-PTX IR.
+
+The accepted grammar is a practical subset of real PTX.  A module is a
+sequence of kernel definitions::
+
+    .visible .entry vecadd (.param .u64 A, .param .u64 B, .param .u32 n)
+    {
+        ld.param.u64 %rdA, [A];
+        mov.u32 %r1, %ctaid.x;
+        mad.lo.u32 %r2, %r1, %ntid.x, %tid.x;
+        mul.wide.u32 %rd1, %r2, 4;
+        add.u64 %rd2, %rdA, %rd1;
+        ld.global.f32 %f1, [%rd2];
+        setp.lt.u32 %p1, %r2, %rN;
+        @%p1 bra DONE;
+    DONE:
+        ret;
+    }
+
+Comments (``//`` to end of line), ``.reg`` declarations and module-level
+directives (``.version``, ``.target``, ``.address_size``) are accepted
+and ignored.
+"""
+
+import re
+
+from repro.ptx.errors import PTXParseError
+from repro.ptx.isa import (
+    COMPARISONS,
+    Immediate,
+    Instruction,
+    Label,
+    MemOperand,
+    Opcode,
+    ParamRef,
+    Register,
+    SpecialRegister,
+    SPECIAL_REGISTER_FAMILIES,
+    TYPE_WIDTHS,
+)
+from repro.ptx.module import Kernel, KernelParam, Module
+
+# Opcode mnemonics sorted longest-first so that multi-part opcodes such
+# as ``ld.param`` win over any shorter prefix.
+_OPCODES_BY_LENGTH = sorted(
+    ((op.value, op) for op in Opcode), key=lambda item: -len(item[0])
+)
+
+_ENTRY_RE = re.compile(
+    r"^\.visible\s+\.entry\s+(?P<name>[A-Za-z_][\w$]*)\s*\((?P<params>.*)\)\s*$",
+    re.DOTALL,
+)
+_PARAM_RE = re.compile(r"^\.param\s+\.(?P<type>\w+)\s+(?P<name>[A-Za-z_][\w$]*)$")
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_$][\w$]*):\s*(?P<rest>.*)$")
+_GUARD_RE = re.compile(r"^@(?P<neg>!?)%(?P<reg>[\w$]+)\s+(?P<rest>.*)$")
+_REGISTER_RE = re.compile(r"^%(?P<name>[A-Za-z_$][\w$]*(\.[xyz])?)$")
+_MEM_RE = re.compile(
+    r"^\[\s*(?P<base>%?[A-Za-z_$][\w$]*)\s*(?P<off>[+-]\s*\d+)?\s*\]$"
+)
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*([eE][+-]?\d+)?|\d+[eE][+-]?\d+|\.\d+)$")
+
+#: Modifier tokens silently dropped from mnemonics (rounding modes etc.).
+_IGNORED_MODIFIERS = frozenset(
+    ("rn", "rz", "rm", "rp", "ftz", "sat", "approx", "full", "uni", "to", "global")
+)
+
+
+def _strip_comments(text):
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def _split_statements(body, first_line):
+    """Split a kernel body into ``(line_number, statement)`` pairs.
+
+    Statements are separated by ``;``; labels (``NAME:``) may share a
+    line with the following instruction and are emitted as their own
+    pseudo-statements ending in ``:``.
+    """
+    statements = []
+    line = first_line
+    buf = []
+    buf_line = line
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\n":
+            line += 1
+            stripped = "".join(buf).strip()
+            # A label may appear alone on a line with no semicolon.
+            if stripped.endswith(":") and _LABEL_RE.match(stripped):
+                statements.append((buf_line, stripped))
+                buf = []
+                buf_line = line
+            elif not stripped:
+                buf = []
+                buf_line = line
+            else:
+                buf.append(ch)
+            i += 1
+            continue
+        if ch == ";":
+            stmt = "".join(buf).strip()
+            if stmt:
+                statements.append((buf_line, stmt))
+            buf = []
+            buf_line = line
+            i += 1
+            continue
+        buf.append(ch)
+        i += 1
+    tail = "".join(buf).strip()
+    if tail:
+        if tail.endswith(":") and _LABEL_RE.match(tail):
+            statements.append((buf_line, tail))
+        else:
+            raise PTXParseError("missing ';' after %r" % tail, line=buf_line)
+    return statements
+
+
+def _parse_operand(token, line):
+    token = token.strip()
+    if not token:
+        raise PTXParseError("empty operand", line=line)
+    if token.startswith("["):
+        m = _MEM_RE.match(token)
+        if m is None:
+            raise PTXParseError("bad memory operand %r" % token, line=line)
+        base_token = m.group("base")
+        if base_token.startswith("%"):
+            base = Register(base_token[1:])
+        else:
+            base = ParamRef(base_token)
+        off_token = m.group("off")
+        offset = int(off_token.replace(" ", "")) if off_token else 0
+        return MemOperand(base, offset)
+    if token.startswith("%"):
+        name = token[1:]
+        head, _, dim = name.partition(".")
+        if head in SPECIAL_REGISTER_FAMILIES:
+            return SpecialRegister(head, dim or None)
+        m = _REGISTER_RE.match(token)
+        if m is None:
+            raise PTXParseError("bad register %r" % token, line=line)
+        return Register(name)
+    if _INT_RE.match(token):
+        return Immediate(int(token, 0))
+    if _FLOAT_RE.match(token):
+        return Immediate(float(token))
+    if re.match(r"^[A-Za-z_$][\w$]*$", token):
+        # Bare identifier: a label target (for bra) or a parameter name.
+        return Label(token)
+    raise PTXParseError("unrecognised operand %r" % token, line=line)
+
+
+def _split_mnemonic(mnemonic, line):
+    """Decompose a dotted mnemonic into opcode, compare, dtype, src_dtype."""
+    for text, opcode in _OPCODES_BY_LENGTH:
+        if mnemonic == text or mnemonic.startswith(text + "."):
+            rest = mnemonic[len(text):].lstrip(".")
+            parts = [p for p in rest.split(".") if p] if rest else []
+            compare = None
+            dtypes = []
+            for part in parts:
+                if part in COMPARISONS and opcode in (Opcode.SETP, Opcode.SELP):
+                    compare = part
+                elif part in TYPE_WIDTHS:
+                    dtypes.append(part)
+                elif part in _IGNORED_MODIFIERS:
+                    continue
+                else:
+                    raise PTXParseError(
+                        "unknown modifier %r in %r" % (part, mnemonic), line=line
+                    )
+            dtype = dtypes[0] if dtypes else None
+            src_dtype = dtypes[1] if len(dtypes) > 1 else None
+            if opcode is Opcode.SETP and compare is None:
+                raise PTXParseError(
+                    "setp requires a comparison modifier: %r" % mnemonic, line=line
+                )
+            return opcode, compare, dtype, src_dtype
+    raise PTXParseError("unknown opcode in %r" % mnemonic, line=line)
+
+
+def _split_operands(text):
+    """Split an operand list on commas that are outside brackets."""
+    tokens = []
+    depth = 0
+    buf = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            tokens.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    tail = "".join(buf).strip()
+    if tail:
+        tokens.append(tail)
+    return [t.strip() for t in tokens if t.strip()]
+
+
+def _assemble(opcode, compare, dtype, src_dtype, operands, guard, negated, line):
+    """Assign parsed operands to dst/src slots according to the opcode."""
+    if opcode in (Opcode.ST_GLOBAL, Opcode.ST_SHARED):
+        if len(operands) != 2:
+            raise PTXParseError("store expects 2 operands", line=line)
+        dsts, srcs = (operands[0],), (operands[1],)
+    elif opcode is Opcode.ATOM_ADD:
+        if len(operands) == 2:
+            dsts, srcs = (operands[0],), (operands[1],)
+        elif len(operands) == 3:
+            dsts, srcs = (operands[0], operands[1]), (operands[2],)
+        else:
+            raise PTXParseError("atom.global.add expects 2 or 3 operands", line=line)
+    elif opcode is Opcode.BRA:
+        if len(operands) != 1 or not isinstance(operands[0], Label):
+            raise PTXParseError("bra expects one label", line=line)
+        dsts, srcs = (), (operands[0],)
+    elif opcode in (Opcode.BAR_SYNC,):
+        dsts, srcs = (), tuple(operands)
+    elif opcode in (Opcode.RET, Opcode.EXIT):
+        if operands:
+            raise PTXParseError("%s takes no operands" % opcode, line=line)
+        dsts, srcs = (), ()
+    else:
+        if not operands:
+            raise PTXParseError("%s needs operands" % opcode, line=line)
+        dsts, srcs = (operands[0],), tuple(operands[1:])
+    return Instruction(
+        opcode=opcode,
+        dtype=dtype,
+        dsts=dsts,
+        srcs=srcs,
+        guard=guard,
+        guard_negated=negated,
+        compare=compare,
+        src_dtype=src_dtype,
+        line=line,
+    )
+
+
+def parse_instruction(text, line=None):
+    """Parse a single instruction statement (without trailing ``;``)."""
+    text = text.strip()
+    guard = None
+    negated = False
+    m = _GUARD_RE.match(text)
+    if m is not None:
+        guard = Register(m.group("reg"))
+        negated = bool(m.group("neg"))
+        text = m.group("rest").strip()
+    parts = text.split(None, 1)
+    mnemonic = parts[0]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    opcode, compare, dtype, src_dtype = _split_mnemonic(mnemonic, line)
+    operands = [_parse_operand(tok, line) for tok in _split_operands(operand_text)]
+    return _assemble(opcode, compare, dtype, src_dtype, operands, guard, negated, line)
+
+
+def _parse_params(text, line):
+    params = []
+    for chunk in _split_operands(text):
+        m = _PARAM_RE.match(chunk.strip())
+        if m is None:
+            raise PTXParseError("bad parameter declaration %r" % chunk, line=line)
+        dtype = m.group("type")
+        if dtype not in TYPE_WIDTHS:
+            raise PTXParseError("unknown parameter type %r" % dtype, line=line)
+        params.append(
+            KernelParam(m.group("name"), dtype, is_pointer=(dtype == "u64"))
+        )
+    return params
+
+
+def parse_kernel(text):
+    """Parse a single kernel definition; convenience over ``parse_module``."""
+    module = parse_module(text)
+    if len(module) != 1:
+        raise PTXParseError("expected exactly one kernel, found %d" % len(module))
+    return module.kernels[0]
+
+
+def parse_module(text):
+    """Parse mini-PTX source text into a :class:`Module`.
+
+    Every kernel is validated (:meth:`Kernel.validate`) before return,
+    so a successfully parsed module is structurally sound.
+    """
+    text = _strip_comments(text)
+    kernels = []
+    pos = 0
+    line = 1
+    while True:
+        entry = text.find(".entry", pos)
+        if entry < 0:
+            break
+        header_start = text.rfind(".visible", pos, entry)
+        if header_start < 0:
+            raise PTXParseError(
+                ".entry without .visible", line=line + text.count("\n", 0, entry)
+            )
+        brace = text.find("{", entry)
+        if brace < 0:
+            raise PTXParseError("kernel body missing '{'")
+        header = text[header_start:brace].strip()
+        header_line = 1 + text.count("\n", 0, header_start)
+        m = _ENTRY_RE.match(" ".join(header.split()))
+        if m is None:
+            raise PTXParseError("bad kernel header %r" % header, line=header_line)
+        close = _matching_brace(text, brace)
+        body = text[brace + 1 : close]
+        body_line = 1 + text.count("\n", 0, brace + 1)
+        kernel = Kernel(
+            name=m.group("name"),
+            params=_parse_params(m.group("params"), header_line),
+        )
+        _parse_body(kernel, body, body_line)
+        kernel.validate()
+        kernels.append(kernel)
+        pos = close + 1
+    if not kernels:
+        raise PTXParseError("no kernels found in module source")
+    return Module(kernels)
+
+
+def _matching_brace(text, open_index):
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    raise PTXParseError("unbalanced braces in kernel body")
+
+
+def _parse_body(kernel, body, first_line):
+    for line_no, stmt in _split_statements(body, first_line):
+        if stmt.startswith(".reg") or stmt.startswith(".shared"):
+            continue  # declarations carry no semantics for the analysis
+        label_match = _LABEL_RE.match(stmt)
+        if label_match is not None:
+            label = label_match.group("label")
+            if label in kernel.labels:
+                raise PTXParseError("duplicate label %r" % label, line=line_no)
+            kernel.labels[label] = len(kernel.instructions)
+            rest = label_match.group("rest").strip()
+            if rest:
+                kernel.instructions.append(parse_instruction(rest, line_no))
+            continue
+        kernel.instructions.append(parse_instruction(stmt, line_no))

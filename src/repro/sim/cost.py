@@ -1,0 +1,63 @@
+"""Per-thread-block latency model.
+
+Durations are derived from the *dynamic* per-thread instruction mix the
+launch-time analysis produces (loop trip counts included), scaled by the
+number of warps in the block.  A thread block's latency is::
+
+    cycles = tb_fixed + (warps / warp_schedulers) * sum(class_count * class_cycles)
+    latency_ns = cycles * cycle_ns * intensity
+
+``intensity`` is a per-kernel-launch scale factor workloads use to model
+arithmetic density the instruction mix alone cannot express (e.g. a
+convolution's inner loops that our mini-PTX kernels summarize).
+
+Only relative durations across kernels matter for the reproduced
+experiments; see DESIGN.md.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.config import GPUConfig
+
+
+@dataclass
+class CostModel:
+    config: GPUConfig
+
+    def tb_cycles(self, dynamic_mix, threads_per_tb, coalescing=1.0):
+        cfg = self.config
+        warps = max(1, (threads_per_tb + cfg.warp_size - 1) // cfg.warp_size)
+        per_warp = (
+            dynamic_mix.get("alu", 0.0) * cfg.alu_cycles
+            + dynamic_mix.get("mem_global", 0.0) * cfg.mem_cycles * coalescing
+            + dynamic_mix.get("mem_shared", 0.0) * cfg.shared_cycles
+            + dynamic_mix.get("mem_param", 0.0) * cfg.alu_cycles
+            + dynamic_mix.get("control", 0.0) * cfg.control_cycles
+            + dynamic_mix.get("barrier", 0.0) * cfg.barrier_cycles
+        )
+        return cfg.tb_fixed_cycles + per_warp * warps / cfg.warp_schedulers
+
+    def tb_duration_ns(
+        self, dynamic_mix, threads_per_tb, intensity=1.0, coalescing=1.0
+    ):
+        """Latency of one thread block in nanoseconds.
+
+        ``coalescing`` is the kernel's memory transactions per warp per
+        access (>= 1); it scales the global-memory cycle cost when the
+        coalescing model is enabled.
+        """
+        cycles = self.tb_cycles(dynamic_mix, threads_per_tb, coalescing)
+        return cycles * self.config.cycle_ns * max(intensity, 1e-9)
+
+    def kernel_memory_requests(
+        self, dynamic_mix, threads_per_tb, num_tbs, coalescing=1.0
+    ):
+        """Baseline global-memory request count of a kernel launch:
+        ``coalescing`` transactions per warp per global memory
+        instruction (1.0 = fully coalesced).  This is the denominator of
+        the paper's Figure 13 memory-request overhead."""
+        cfg = self.config
+        warps = max(1, (threads_per_tb + cfg.warp_size - 1) // cfg.warp_size)
+        return (
+            dynamic_mix.get("mem_global", 0.0) * warps * num_tbs * coalescing
+        )

@@ -1,0 +1,56 @@
+"""Deterministic discrete-event queue.
+
+Events are ``(time, seq, callback)`` heap entries; ``seq`` is a
+monotonically increasing tiebreaker so same-time events fire in
+scheduling order, keeping every simulation run fully deterministic.
+"""
+
+import heapq
+import itertools
+
+
+class EventQueue:
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self):
+        return self._now
+
+    @property
+    def empty(self):
+        return not self._heap
+
+    def __len__(self):
+        return len(self._heap)
+
+    def schedule(self, time, callback):
+        """Schedule ``callback()`` at absolute ``time``."""
+        if time < self._now:
+            raise ValueError(
+                "cannot schedule event at {} before now {}".format(time, self._now)
+            )
+        heapq.heappush(self._heap, (float(time), next(self._seq), callback))
+
+    def schedule_after(self, delay, callback):
+        self.schedule(self._now + delay, callback)
+
+    def step(self):
+        """Pop and run the earliest event; returns False when drained."""
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self._now = time
+        callback()
+        return True
+
+    def run(self, max_events=50_000_000):
+        """Run until the queue drains; guards against runaway loops."""
+        count = 0
+        while self.step():
+            count += 1
+            if count > max_events:
+                raise RuntimeError("event cap exceeded; simulation livelock?")
+        return self._now

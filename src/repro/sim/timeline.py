@@ -1,0 +1,96 @@
+"""Text timelines (Gantt charts) for simulation results.
+
+Renders a :class:`~repro.sim.stats.RunStats` as the paper's Fig. 2-style
+execution diagram: one row per kernel, with launch overhead, waiting,
+and thread-block execution phases drawn across a character raster.
+
+Example (two overlapping kernels under BlockMaestro)::
+
+    k0 produce  |LL####
+    k1 consume  |.LL.####
+                0.0us      12.3us
+
+Legend: ``L`` launch overhead, ``#`` thread blocks executing, ``-``
+resident but waiting on dependencies, ``.`` queued.
+"""
+
+from repro.sim.stats import RunStats
+
+LAUNCH_CHAR = "L"
+RUN_CHAR = "#"
+WAIT_CHAR = "-"
+QUEUED_CHAR = "."
+
+
+def render_kernel_timeline(stats: RunStats, width=72, label_width=16):
+    """Per-kernel execution rows across the run's makespan."""
+    if not stats.kernel_records:
+        return "(no kernels)"
+    span = max(stats.makespan_ns, 1e-9)
+    scale = width / span
+
+    def col(t):
+        return min(width - 1, max(0, int(t * scale)))
+
+    lines = []
+    for kr in stats.kernel_records:
+        row = [" "] * width
+        _fill(row, col(kr.queued_ns), col(kr.launch_begin_ns), QUEUED_CHAR)
+        _fill(row, col(kr.launch_begin_ns), col(kr.resident_ns), LAUNCH_CHAR)
+        first = kr.first_tb_start_ns or kr.resident_ns
+        _fill(row, col(kr.resident_ns), col(first), WAIT_CHAR)
+        _fill(row, col(first), col(kr.all_tbs_done_ns) + 1, RUN_CHAR)
+        label = "k{} {}".format(kr.index, kr.name)[:label_width]
+        lines.append("{:<{w}s} |{}".format(label, "".join(row), w=label_width))
+    axis = "{:<{w}s}  0us{}{:.1f}us".format(
+        "", " " * (width - 12), span / 1000.0, w=label_width
+    )
+    lines.append(axis)
+    lines.append(
+        "legend: {}=queued {}=launching {}=waiting {}=executing".format(
+            QUEUED_CHAR, LAUNCH_CHAR, WAIT_CHAR, RUN_CHAR
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_concurrency_profile(stats: RunStats, width=72, height=8):
+    """A small vertical-bar profile of running thread blocks over time."""
+    if not stats.tb_records:
+        return "(no thread blocks)"
+    span = max(stats.makespan_ns, 1e-9)
+    buckets = [0.0] * width
+    for tb in stats.tb_records:
+        lo = int(tb.start_ns / span * width)
+        hi = int(tb.finish_ns / span * width)
+        for b in range(max(0, lo), min(width, hi + 1)):
+            buckets[b] += 1
+    peak = max(buckets) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        rows.append(
+            "".join("#" if value >= threshold else " " for value in buckets)
+        )
+    rows.append("-" * width)
+    rows.append("peak {} concurrent thread blocks".format(int(peak)))
+    return "\n".join(rows)
+
+
+def compare_timelines(list_of_stats, width=72):
+    """Stack several runs' kernel timelines for side-by-side reading."""
+    blocks = []
+    for stats in list_of_stats:
+        blocks.append(
+            "=== {} ({:.1f} us) ===".format(
+                stats.model, stats.makespan_ns / 1000.0
+            )
+        )
+        blocks.append(render_kernel_timeline(stats, width=width))
+    return "\n".join(blocks)
+
+
+def _fill(row, start, end, char):
+    for i in range(max(0, start), min(len(row), end)):
+        if row[i] == " ":
+            row[i] = char

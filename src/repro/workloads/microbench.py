@@ -1,0 +1,60 @@
+"""Interconnectivity microbenchmark (paper Fig. 12).
+
+Two equal-size kernels derived from VectorAdd.  The producer writes its
+output in flat per-block slices (a 1-to-1 layout); the consumer reads
+the producer's output in *groups* of ``degree`` block-slices, realizing
+the n-group fully connected pattern whose group size is the paper's
+"dependency degree" knob.  ``degree == 1`` is the plain 1-to-1
+VectorAdd pair.
+"""
+
+from repro.workloads import ptxgen
+from repro.workloads.base import AppBuilder
+
+_ELEM = 4
+_THREADS = 256
+
+
+def build_vecadd_pair(num_tbs=512, degree=1, intensity=8.0):
+    """Producer/consumer VectorAdd pair with dependency degree ``degree``.
+
+    ``num_tbs`` is the per-kernel thread-block count (the paper sweeps
+    128..2048); ``degree`` blocks of the producer feed each group of
+    ``degree`` consumer blocks (1 <= degree <= num_tbs).  Both kernels
+    perform the same amount of work — only the consumer's read
+    *footprint* widens with the degree, exactly like the paper's
+    artificially-introduced n-group dependencies.
+    """
+    if num_tbs % max(degree, 1):
+        raise ValueError("degree must divide num_tbs")
+    b = AppBuilder("vecadd-deg{}-n{}".format(degree, num_tbs))
+    elems = num_tbs * _THREADS
+    x = b.alloc("X", elems * _ELEM)
+    tmp = b.alloc("TMP", elems * _ELEM)
+    out = b.alloc("OUTBUF", elems * _ELEM)
+    b.h2d(x)
+    producer = ptxgen.elementwise("vadd_produce", num_inputs=1, alu=2)
+    consumer = ptxgen.group_sample(
+        "vadd_consume_deg{}".format(degree),
+        group_span_elems=degree * _THREADS,
+        stride_elems=degree,
+        alu=2,
+    )
+    b.launch(
+        producer,
+        grid=num_tbs,
+        block=_THREADS,
+        args={"IN0": x, "OUT": tmp},
+        intensity=intensity,
+        tag="producer",
+    )
+    b.launch(
+        consumer,
+        grid=(degree, num_tbs // degree),
+        block=_THREADS,
+        args={"IN": tmp, "OUT": out},
+        intensity=intensity,
+        tag="consumer",
+    )
+    b.d2h(out)
+    return b.build(degree=degree, num_tbs=num_tbs)

@@ -1,0 +1,252 @@
+"""PolyBench-derived workloads: 3MM, BICG, MVT, FDTD-2D, GRAMSCHM.
+
+Each builder reproduces the kernel-launch structure (the kernel counts
+of the paper's Table II) and the inter-kernel access shapes of the
+PolyBench GPU codes, expressed in mini-PTX.  Problem sizes are scaled to
+simulator-friendly footprints; only relative kernel durations matter
+for the reproduced experiments (see DESIGN.md).
+"""
+
+from repro.workloads import ptxgen
+from repro.workloads.base import AppBuilder
+
+_THREADS = 256
+_ELEM = 4
+
+
+def build_3mm(elems=16384, group=4, intensity=3.0):
+    """3 Matrix Multiplications: E=A*B, F=C*D, G=E*F (3 kernels).
+
+    Matrices are column-major with ``elems`` elements each; every
+    multiply writes its output in flat column blocks of one thread
+    block's width.  E and F derive from disjoint inputs (independent —
+    pattern 7); G reads F in column *groups* of ``group`` blocks (the
+    tiling reuse window), making K2->K3 n-group fully connected
+    (pattern 2).  G also reads E in full — a grandparent dependency
+    covered by in-order completion.
+    """
+    blocks = elems // _THREADS
+    if blocks % group:
+        raise ValueError("elems/%d must be a multiple of group" % _THREADS)
+    b = AppBuilder("3mm")
+    mat = {name: b.alloc(name, elems * _ELEM) for name in "ABCDEF"}
+    g_out = b.alloc("G", elems * _ELEM)
+    for name in "ABCD":
+        b.h2d(mat[name])
+    mm = ptxgen.matmul_colblock(
+        "mm3_colblock", group_span_elems=_THREADS * group
+    )
+    grid = (group, blocks // group)
+    b.launch(
+        mm,
+        grid=grid,
+        block=_THREADS,
+        args={"INGROUP": mat["A"], "INFULL": mat["B"], "OUT": mat["E"], "SPAN": elems},
+        intensity=intensity,
+        tag="mm_E",
+    )
+    b.launch(
+        mm,
+        grid=grid,
+        block=_THREADS,
+        args={"INGROUP": mat["C"], "INFULL": mat["D"], "OUT": mat["F"], "SPAN": elems},
+        intensity=intensity,
+        tag="mm_F",
+    )
+    b.launch(
+        mm,
+        grid=grid,
+        block=_THREADS,
+        args={"INGROUP": mat["F"], "INFULL": mat["E"], "OUT": g_out, "SPAN": elems},
+        intensity=intensity,
+        tag="mm_G",
+    )
+    b.d2h(g_out)
+    return b.build(table2_kernels=3, table2_patterns=(2, 7), group=group)
+
+
+def build_bicg(blocks=16, k=512, intensity=1.0):
+    """BiCG sub-kernels: q = A p and s = A^T r — two independent
+    matrix-vector products (pattern 7)."""
+    n = blocks * _THREADS
+    b = AppBuilder("bicg")
+    a = b.alloc("A", n * k * _ELEM)
+    p = b.alloc("P", k * _ELEM)
+    r = b.alloc("R", n * _ELEM)
+    q = b.alloc("Q", n * _ELEM)
+    s = b.alloc("S", n * _ELEM)
+    for buf in (a, p, r):
+        b.h2d(buf)
+    mv = ptxgen.matvec("bicg_mv")
+    mvt = ptxgen.matvec_transposed("bicg_mvt")
+    b.launch(
+        mv,
+        grid=blocks,
+        block=_THREADS,
+        args={"A": a, "X": p, "Y": q, "K": k},
+        intensity=intensity,
+        tag="bicg_q",
+    )
+    b.launch(
+        mvt,
+        grid=blocks,
+        block=_THREADS,
+        args={"A": a, "X": r, "Y": s, "K": k, "N": n},
+        intensity=intensity,
+        tag="bicg_s",
+    )
+    b.d2h(q)
+    b.d2h(s)
+    return b.build(table2_kernels=2, table2_patterns=(7,), rows=n)
+
+
+def build_mvt(blocks=16, k=512, intensity=1.0):
+    """MVT: x1 = A y1 and x2 = A^T y2 — independent (pattern 7)."""
+    n = blocks * _THREADS
+    b = AppBuilder("mvt")
+    a = b.alloc("A", n * k * _ELEM)
+    y1 = b.alloc("Y1", k * _ELEM)
+    y2 = b.alloc("Y2", k * _ELEM)
+    x1 = b.alloc("X1", n * _ELEM)
+    x2 = b.alloc("X2", n * _ELEM)
+    for buf in (a, y1, y2):
+        b.h2d(buf)
+    mv = ptxgen.matvec("mvt_mv")
+    mvt = ptxgen.matvec_transposed("mvt_mvt")
+    b.launch(
+        mv,
+        grid=blocks,
+        block=_THREADS,
+        args={"A": a, "X": y1, "Y": x1, "K": k},
+        intensity=intensity,
+        tag="mvt_x1",
+    )
+    b.launch(
+        mvt,
+        grid=blocks,
+        block=_THREADS,
+        args={"A": a, "X": y2, "Y": x2, "K": k, "N": n},
+        intensity=intensity,
+        tag="mvt_x2",
+    )
+    b.d2h(x1)
+    b.d2h(x2)
+    return b.build(table2_kernels=2, table2_patterns=(7,), rows=n)
+
+
+def build_fdtd2d(iterations=8, row_elems=256, rows_of_blocks=64, intensity=10.0):
+    """2-D FDTD: per time step update ey, ex (mutually independent),
+    then hz from both — 24 kernels for 8 iterations.
+
+    ey and ex read hz (previous step, grandparent-distance); hz reads ex
+    (consecutive pair — halo-overlapped) and ey (grandparent).  The
+    independent ey/ex pair supplies Table II's pattern 7; the hz update
+    supplies the producer/consumer row dependencies.
+    """
+    b = AppBuilder("fdtd-2d")
+    elems = rows_of_blocks * _THREADS
+    ey = b.alloc("EY", elems * _ELEM)
+    ex = b.alloc("EX", elems * _ELEM)
+    hz = b.alloc("HZ", elems * _ELEM)
+    for buf in (ey, ex, hz):
+        b.h2d(buf)
+    k_ey = ptxgen.elementwise("fdtd_ey", num_inputs=2, shifts=[0, -1], alu=2)
+    k_ex = ptxgen.elementwise(
+        "fdtd_ex", num_inputs=2, shifts=[0, -row_elems], alu=2
+    )
+    k_hz = ptxgen.stencil2d("fdtd_hz", width=row_elems, alu=2, extra_input="EYF")
+    for _ in range(iterations):
+        b.launch(
+            k_ey,
+            grid=rows_of_blocks,
+            block=_THREADS,
+            args={"IN0": hz, "IN1": hz, "OUT": ey},
+            intensity=intensity,
+            tag="fdtd_ey",
+        )
+        b.launch(
+            k_ex,
+            grid=rows_of_blocks,
+            block=_THREADS,
+            args={"IN0": hz, "IN1": hz, "OUT": ex},
+            intensity=intensity,
+            tag="fdtd_ex",
+        )
+        b.launch(
+            k_hz,
+            grid=rows_of_blocks,
+            block=_THREADS,
+            args={"IN": ex, "EYF": ey, "OUT": hz},
+            intensity=intensity,
+            tag="fdtd_hz",
+        )
+    b.d2h(hz)
+    return b.build(
+        table2_kernels=3 * iterations,
+        table2_patterns=(5, 7),
+        iterations=iterations,
+    )
+
+
+def build_gramschm(columns=64, col_blocks=4, intensity=1.0):
+    """Gram-Schmidt decomposition: per column k — a norm reduction
+    (R[k] <- ||A_k||), a scalar-broadcast scale (Q_k <- A_k / R[k]) and
+    a projection update of the trailing columns.  192 kernels for 64
+    columns; patterns 1 (whole-column reads become fully connected),
+    4 (scalar broadcast) and 5 (column reduction).
+    """
+    b = AppBuilder("gramschm")
+    col_elems = col_blocks * _THREADS
+    total = columns * col_elems
+    a = b.alloc("Amat", total * _ELEM)
+    q = b.alloc("Qmat", total * _ELEM)
+    r = b.alloc("Rvec", columns * _ELEM)
+    b.h2d(a)
+    norm = ptxgen.reduce_columns("gs_norm")
+    scale = ptxgen.broadcast_scale("gs_scale")
+    update = ptxgen.full_read_map("gs_update", alu=1)
+    for k in range(columns):
+        col_off = k * col_elems
+        b.launch(
+            norm,
+            grid=1,
+            block=1,
+            args={
+                "IN": a,
+                "OUT": r,
+                "STRIDE": 1,
+                "COUNT": col_elems,
+                "OFF": col_off,
+                "OUTOFF": k,
+            },
+            intensity=intensity,
+            tag="gs_norm",
+        )
+        b.launch(
+            scale,
+            grid=col_blocks,
+            block=_THREADS,
+            args={"IN": a, "SCALARS": r, "OUT": q, "SIDX": k, "OFF": col_off},
+            intensity=intensity,
+            tag="gs_scale",
+        )
+        # project Q_k out of the trailing columns (at least one block)
+        trailing_blocks = max(1, (columns - 1 - k) * col_blocks // columns + 1)
+        b.launch(
+            update,
+            grid=trailing_blocks,
+            block=_THREADS,
+            args={
+                "IN": q,
+                "OUT": a,
+                "SPAN": col_elems,
+                "INOFF": col_off,
+                "OUTOFF": min(col_off + col_elems, total - trailing_blocks * _THREADS),
+            },
+            intensity=intensity,
+            tag="gs_update",
+        )
+    b.d2h(q)
+    return b.build(
+        table2_kernels=3 * columns, table2_patterns=(1, 4, 5), columns=columns
+    )

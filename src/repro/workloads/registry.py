@@ -1,0 +1,137 @@
+"""Workload registry: the paper's Table II benchmark suite by name."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.workloads.polybench import (
+    build_3mm,
+    build_bicg,
+    build_fdtd2d,
+    build_gramschm,
+    build_mvt,
+)
+from repro.workloads.rodinia import (
+    build_gaussian,
+    build_hotspot,
+    build_lud,
+    build_nw,
+    build_pathfinder,
+)
+from repro.workloads.shoc import build_fft
+from repro.workloads.tango import build_alexnet
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Registry entry: paper metadata plus the builder callable.
+
+    ``small_overrides`` are builder parameters for a scaled-down variant
+    used by value-level validation and quick tests (the functional
+    simulator executes every thread in Python).
+    """
+
+    name: str
+    description: str
+    suite: str
+    paper_kernels: int
+    paper_patterns: Tuple[int, ...]
+    builder: Callable
+    small_overrides: Dict[str, int] = field(default_factory=dict)
+
+    def build(self, **overrides):
+        return self.builder(**overrides)
+
+    def build_small(self, **extra):
+        params = dict(self.small_overrides)
+        params.update(extra)
+        return self.builder(**params)
+
+
+_SPECS = (
+    WorkloadSpec(
+        "3mm", "3 Matrix Multiplications", "PolyBench", 3, (2, 7), build_3mm,
+        small_overrides={"elems": 2048},
+    ),
+    WorkloadSpec(
+        "alexnet", "AlexNet network", "Tango", 22, (1, 3, 4), build_alexnet,
+        small_overrides={"scale": 16384},
+    ),
+    WorkloadSpec(
+        "bicg",
+        "BiCG Sub Kernel of BiCGStab Linear Solver",
+        "PolyBench",
+        2,
+        (7,),
+        build_bicg,
+        small_overrides={"blocks": 2, "k": 16},
+    ),
+    WorkloadSpec(
+        "fdtd-2d",
+        "2D Finite Difference Time Domain",
+        "PolyBench",
+        24,
+        (5, 7),
+        build_fdtd2d,
+        small_overrides={"iterations": 2, "row_elems": 64, "rows_of_blocks": 4},
+    ),
+    WorkloadSpec(
+        "fft", "Fast Fourier Transform", "SHOC", 60, (3, 5, 7), build_fft,
+        small_overrides={"batches": 1, "stages": 4, "half_elems": 512},
+    ),
+    WorkloadSpec(
+        "gaussian", "Gaussian Elimination", "Rodinia", 510, (4, 5), build_gaussian,
+        small_overrides={"n": 8, "stride": 264},
+    ),
+    WorkloadSpec(
+        "gramschm",
+        "Gram-Schmidt Decomposition",
+        "PolyBench",
+        192,
+        (1, 4, 5),
+        build_gramschm,
+        small_overrides={"columns": 4, "col_blocks": 2},
+    ),
+    WorkloadSpec(
+        "hs", "Hotspot", "Rodinia", 10, (6,), build_hotspot,
+        small_overrides={"iterations": 3, "row_elems": 64, "rows_of_blocks": 4},
+    ),
+    WorkloadSpec(
+        "lud", "LU Decomposition", "Rodinia", 46, (3, 4, 5), build_lud,
+        small_overrides={"tiles": 4, "tile_elems": 16},
+    ),
+    WorkloadSpec(
+        "mvt", "Matrix Vector Product and Transpose", "PolyBench", 2, (7,),
+        build_mvt,
+        small_overrides={"blocks": 2, "k": 16},
+    ),
+    WorkloadSpec(
+        "nw", "Needleman-Wunsch", "Rodinia", 255, (4, 5), build_nw,
+        small_overrides={"block_diagonals": 6, "block_threads": 16},
+    ),
+    WorkloadSpec(
+        "path", "Path Finder", "Rodinia", 5, (6,), build_pathfinder,
+        small_overrides={"iterations": 3, "cols_of_blocks": 4},
+    ),
+)
+
+_BY_NAME = {spec.name: spec for spec in _SPECS}
+
+
+def workload_names():
+    """Benchmark names in the paper's Table II order."""
+    return [spec.name for spec in _SPECS]
+
+
+def all_workloads():
+    return list(_SPECS)
+
+
+def get_workload(name) -> WorkloadSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            "unknown workload {!r}; available: {}".format(
+                name, ", ".join(workload_names())
+            )
+        ) from None

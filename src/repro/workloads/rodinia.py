@@ -1,0 +1,349 @@
+"""Rodinia-derived workloads: GAUSSIAN, HS (Hotspot), LUD, NW, PATH.
+
+These are the iterative / wavefront applications of the paper's Table
+II, with matching kernel-launch counts:
+
+* GAUSSIAN — 255 elimination steps x (Fan1, Fan2) = 510 kernels;
+* HS — 10 ping-pong 2-D stencil steps;
+* LUD — 15 x (diagonal, perimeter, internal) + final diagonal = 46;
+* NW — 255 anti-diagonal kernels over a 128x128 block grid;
+* PATH — 5 ping-pong 1-D stencil rows.
+"""
+
+from repro.workloads import ptxgen
+from repro.workloads.base import AppBuilder
+from repro.workloads.ptxgen import Emitter
+
+_ELEM = 4
+
+
+def build_gaussian(n=256, stride=512, intensity=3.0):
+    """Gaussian elimination: per pivot ``t`` a small Fan1 kernel computes
+    the column of multipliers and a row-per-block Fan2 kernel updates
+    the trailing submatrix.
+
+    Fan1 -> Fan2 is 1-to-n (each row block reads its multiplier from the
+    single Fan1 block); Fan2 -> next Fan1 has in-degree equal to the
+    number of remaining rows, which exceeds the 6-bit parent counter for
+    early pivots and collapses to fully connected — the mechanism behind
+    GAUSSIAN's near-zero encoded storage in Table III.
+
+    The matrix is stored with a padded ``stride`` so Fan1's fixed
+    256-thread block can overshoot the logical ``n`` rows without
+    touching neighbouring buffers.
+    """
+    if stride < n + 256:
+        raise ValueError("stride must cover Fan1 block overshoot")
+    b = AppBuilder("gaussian")
+    a = b.alloc("A", stride * stride * _ELEM)
+    m = b.alloc("M", stride * _ELEM)
+    b.h2d(a)
+    fan1 = ptxgen.gaussian_fan1("gauss_fan1")
+    fan2 = ptxgen.gaussian_fan2("gauss_fan2")
+    for t in range(n - 1):
+        b.launch(
+            fan1,
+            grid=1,
+            block=256,
+            args={"A": a, "M": m, "N": stride, "T": t},
+            intensity=intensity,
+            tag="fan1",
+        )
+        rows = n - 1 - t
+        b.launch(
+            fan2,
+            grid=(1, rows),
+            block=256,
+            args={"A": a, "M": m, "N": stride, "T": t},
+            intensity=intensity,
+            tag="fan2",
+        )
+    b.d2h(a)
+    return b.build(
+        table2_kernels=2 * (n - 1), table2_patterns=(4, 5), matrix=n
+    )
+
+
+def build_hotspot(iterations=10, row_elems=256, rows_of_blocks=256, intensity=1.0):
+    """Hotspot: iterative 2-D thermal stencil, ping-ponging two
+    temperature grids and reading a static power map.  The ``i +- width``
+    halo reads shared between adjacent row blocks give the overlapped
+    pattern (6)."""
+    b = AppBuilder("hs")
+    elems = rows_of_blocks * 256
+    t_in = b.alloc("TEMP0", elems * _ELEM)
+    t_out = b.alloc("TEMP1", elems * _ELEM)
+    power = b.alloc("POWER", elems * _ELEM)
+    b.h2d(t_in)
+    b.h2d(power)
+    kernel = ptxgen.stencil2d("hotspot_step", width=row_elems, alu=4)
+    src, dst = t_in, t_out
+    for _ in range(iterations):
+        b.launch(
+            kernel,
+            grid=rows_of_blocks,
+            block=256,
+            args={"IN": src, "POWER": power, "OUT": dst},
+            intensity=intensity,
+            tag="hotspot",
+        )
+        src, dst = dst, src
+    b.d2h(src)
+    return b.build(
+        table2_kernels=iterations, table2_patterns=(6,), iterations=iterations
+    )
+
+
+# ----------------------------------------------------------------------
+# LUD tile kernels
+# ----------------------------------------------------------------------
+def _lud_diagonal(tile_elems):
+    """Factor the diagonal tile in place (single block)."""
+    e = Emitter("lud_diagonal", [("A", "u64"), ("NB", "u32"), ("T", "u32")])
+    a_reg, nb_reg, t_reg = e.load_params("A", "NB", "T")
+    # tile (T, T) base element offset: (T*NB + T) * tile_elems
+    tid_idx = e.reg()
+    e.emit("mad.lo.u32 {}, {}, {}, {};".format(tid_idx, t_reg, nb_reg, t_reg))
+    base = e.reg()
+    e.emit("mul.lo.u32 {}, {}, {};".format(base, tid_idx, tile_elems))
+    t = e.reg()
+    e.emit("mov.u32 {}, %tid.x;".format(t))
+    idx = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(idx, base, t))
+    val = e.load_f32(a_reg, idx)
+    upd = e.alu_chain(val, 6)
+    e.store_f32(a_reg, idx, upd)
+    return e.render()
+
+
+def _lud_perimeter(tile_elems):
+    """Update row tile (T, T+1+bx) and column tile (T+1+bx, T) from the
+    diagonal tile; one block per row/column pair."""
+    e = Emitter("lud_perimeter", [("A", "u64"), ("NB", "u32"), ("T", "u32")])
+    a_reg, nb_reg, t_reg = e.load_params("A", "NB", "T")
+    bx = e.reg()
+    e.emit("mov.u32 {}, %ctaid.x;".format(bx))
+    j = e.reg()
+    e.emit("add.u32 {}, {}, 1;".format(j, bx))
+    col = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(col, j, t_reg))
+    t = e.reg()
+    e.emit("mov.u32 {}, %tid.x;".format(t))
+    # diagonal tile read
+    diag_tile = e.reg()
+    e.emit("mad.lo.u32 {}, {}, {}, {};".format(diag_tile, t_reg, nb_reg, t_reg))
+    diag_base = e.reg()
+    e.emit("mul.lo.u32 {}, {}, {};".format(diag_base, diag_tile, tile_elems))
+    diag_idx = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(diag_idx, diag_base, t))
+    diag_val = e.load_f32(a_reg, diag_idx)
+    # row tile (T, col)
+    row_tile = e.reg()
+    e.emit("mad.lo.u32 {}, {}, {}, {};".format(row_tile, t_reg, nb_reg, col))
+    row_base = e.reg()
+    e.emit("mul.lo.u32 {}, {}, {};".format(row_base, row_tile, tile_elems))
+    row_idx = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(row_idx, row_base, t))
+    row_val = e.load_f32(a_reg, row_idx)
+    new_row = e.combine([row_val, diag_val])
+    new_row = e.alu_chain(new_row, 3)
+    e.store_f32(a_reg, row_idx, new_row)
+    # column tile (col, T)
+    col_tile = e.reg()
+    e.emit("mad.lo.u32 {}, {}, {}, {};".format(col_tile, col, nb_reg, t_reg))
+    col_base = e.reg()
+    e.emit("mul.lo.u32 {}, {}, {};".format(col_base, col_tile, tile_elems))
+    col_idx = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(col_idx, col_base, t))
+    col_val = e.load_f32(a_reg, col_idx)
+    new_col = e.combine([col_val, diag_val])
+    new_col = e.alu_chain(new_col, 3)
+    e.store_f32(a_reg, col_idx, new_col)
+    return e.render()
+
+
+def _lud_internal(tile_elems):
+    """Update interior tile (T+1+by, T+1+bx) from its perimeter row and
+    column tiles; 2-D grid over the trailing submatrix."""
+    e = Emitter("lud_internal", [("A", "u64"), ("NB", "u32"), ("T", "u32")])
+    a_reg, nb_reg, t_reg = e.load_params("A", "NB", "T")
+    bx = e.reg()
+    e.emit("mov.u32 {}, %ctaid.x;".format(bx))
+    by = e.reg()
+    e.emit("mov.u32 {}, %ctaid.y;".format(by))
+    col = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(col, bx, t_reg))
+    col1 = e.reg()
+    e.emit("add.u32 {}, {}, 1;".format(col1, col))
+    row = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(row, by, t_reg))
+    row1 = e.reg()
+    e.emit("add.u32 {}, {}, 1;".format(row1, row))
+    t = e.reg()
+    e.emit("mov.u32 {}, %tid.x;".format(t))
+    # perimeter row tile (T, col1)
+    prow_tile = e.reg()
+    e.emit("mad.lo.u32 {}, {}, {}, {};".format(prow_tile, t_reg, nb_reg, col1))
+    prow_base = e.reg()
+    e.emit("mul.lo.u32 {}, {}, {};".format(prow_base, prow_tile, tile_elems))
+    prow_idx = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(prow_idx, prow_base, t))
+    prow_val = e.load_f32(a_reg, prow_idx)
+    # perimeter column tile (row1, T)
+    pcol_tile = e.reg()
+    e.emit("mad.lo.u32 {}, {}, {}, {};".format(pcol_tile, row1, nb_reg, t_reg))
+    pcol_base = e.reg()
+    e.emit("mul.lo.u32 {}, {}, {};".format(pcol_base, pcol_tile, tile_elems))
+    pcol_idx = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(pcol_idx, pcol_base, t))
+    pcol_val = e.load_f32(a_reg, pcol_idx)
+    # own tile (row1, col1): read-modify-write
+    own_tile = e.reg()
+    e.emit("mad.lo.u32 {}, {}, {}, {};".format(own_tile, row1, nb_reg, col1))
+    own_base = e.reg()
+    e.emit("mul.lo.u32 {}, {}, {};".format(own_base, own_tile, tile_elems))
+    own_idx = e.reg()
+    e.emit("add.u32 {}, {}, {};".format(own_idx, own_base, t))
+    own_val = e.load_f32(a_reg, own_idx)
+    acc = e.combine([own_val, prow_val, pcol_val])
+    acc = e.alu_chain(acc, 2)
+    e.store_f32(a_reg, own_idx, acc)
+    return e.render()
+
+
+def build_lud(tiles=16, tile_elems=256, intensity=2.0):
+    """Blocked LU decomposition: per block step a 1-block diagonal
+    factorization, a strip of perimeter blocks and a shrinking square of
+    interior blocks — 46 kernels for a 16x16 tile grid.
+
+    The tiny diagonal kernel followed by progressively larger kernels is
+    the paper's showcase for fine-grain run-ahead (only 1-to-1/1-to-n/
+    n-to-1-style dependencies, no full barriers needed).
+    """
+    b = AppBuilder("lud")
+    a = b.alloc("A", tiles * tiles * tile_elems * _ELEM)
+    b.h2d(a)
+    diag = _lud_diagonal(tile_elems)
+    perimeter = _lud_perimeter(tile_elems)
+    internal = _lud_internal(tile_elems)
+    for t in range(tiles - 1):
+        b.launch(
+            diag,
+            grid=1,
+            block=tile_elems,
+            args={"A": a, "NB": tiles, "T": t},
+            intensity=intensity,
+            tag="lud_diag",
+        )
+        rem = tiles - 1 - t
+        b.launch(
+            perimeter,
+            grid=rem,
+            block=tile_elems,
+            args={"A": a, "NB": tiles, "T": t},
+            intensity=intensity,
+            tag="lud_perim",
+        )
+        b.launch(
+            internal,
+            grid=(rem, rem),
+            block=tile_elems,
+            args={"A": a, "NB": tiles, "T": t},
+            intensity=intensity,
+            tag="lud_inter",
+        )
+    b.launch(
+        diag,
+        grid=1,
+        block=tile_elems,
+        args={"A": a, "NB": tiles, "T": tiles - 1},
+        intensity=intensity,
+        tag="lud_diag",
+    )
+    b.d2h(a)
+    return b.build(
+        table2_kernels=3 * (tiles - 1) + 1,
+        table2_patterns=(3, 4, 5),
+        tiles=tiles,
+    )
+
+
+def build_nw(block_diagonals=128, block_threads=256, intensity=2.0):
+    """Needleman-Wunsch: one kernel per anti-diagonal of the block grid
+    (2*128 - 1 = 255 kernels), each block reading its top and left
+    neighbour blocks from the previous diagonal.
+
+    Diagonal results rotate through three buffers (a block only needs
+    its immediate predecessor diagonal).
+    """
+    b = AppBuilder("nw")
+    max_blocks = block_diagonals
+    bufs = [
+        b.alloc("DIAG{}".format(i), max_blocks * block_threads * _ELEM)
+        for i in range(3)
+    ]
+    wall = b.alloc("SEQ", 2 * max_blocks * block_threads * _ELEM)
+    b.h2d(bufs[0])
+    b.h2d(wall)
+    init = ptxgen.elementwise("nw_init", num_inputs=1, alu=1)
+    kernel = ptxgen.wavefront_block("nw_diag", parents=2, alu=3)
+    total = 2 * block_diagonals - 1
+    # diagonal 0 is computed by an init kernel from the input sequences
+    b.launch(
+        init,
+        grid=1,
+        block=block_threads,
+        args={"IN0": wall, "OUT": bufs[0]},
+        intensity=intensity,
+        tag="nw_d0",
+    )
+    for d in range(1, total):
+        size = min(d + 1, block_diagonals, total - d)
+        growing = d < block_diagonals
+        b.launch(
+            kernel,
+            grid=size,
+            block=block_threads,
+            args={
+                "PREV": bufs[(d - 1) % 3],
+                "CUR": bufs[d % 3],
+                "SHIFT": 0 if growing else 1,
+            },
+            intensity=intensity,
+            tag="nw_d{}".format(d),
+        )
+    b.d2h(bufs[(total - 1) % 3])
+    return b.build(
+        table2_kernels=total,
+        table2_patterns=(4, 5),
+        block_diagonals=block_diagonals,
+    )
+
+
+def build_pathfinder(iterations=5, cols_of_blocks=256, intensity=1.0):
+    """PathFinder: dynamic-programming over grid rows; each step is a
+    radius-1 1-D stencil against the previous row plus the static wall
+    costs — the overlapped pattern (6)."""
+    b = AppBuilder("path")
+    elems = cols_of_blocks * 256
+    src = b.alloc("ROW0", elems * _ELEM)
+    dst = b.alloc("ROW1", elems * _ELEM)
+    wall = b.alloc("WALL", elems * _ELEM)
+    b.h2d(src)
+    b.h2d(wall)
+    kernel = ptxgen.stencil1d("path_step", radius=1, alu=2, extra_input="WALL")
+    a, bb = src, dst
+    for _ in range(iterations):
+        b.launch(
+            kernel,
+            grid=cols_of_blocks,
+            block=256,
+            args={"IN": a, "WALL": wall, "OUT": bb},
+            intensity=intensity,
+            tag="path",
+        )
+        a, bb = bb, a
+    b.d2h(a)
+    return b.build(
+        table2_kernels=iterations, table2_patterns=(6,), iterations=iterations
+    )

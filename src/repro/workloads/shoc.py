@@ -1,0 +1,74 @@
+"""SHOC-derived workload: batched FFT (60 kernels).
+
+Three independent FFT batches, each: one preparation kernel, eighteen
+radix-2 Stockham butterfly stages ping-ponging two work buffers
+(1-to-1 dependencies between consecutive stages — Table I pattern 3),
+and one final strided reduction/normalization (n-to-1, pattern 5).
+Batch boundaries are independent (pattern 7).
+"""
+
+from repro.workloads import ptxgen
+from repro.workloads.base import AppBuilder
+
+_ELEM = 4
+_THREADS = 256
+
+
+def build_fft(batches=3, stages=18, half_elems=16384, intensity=1.0):
+    """60 kernels = batches * (1 prep + stages + 1 reduce)."""
+    if half_elems % _THREADS:
+        raise ValueError("half_elems must be a multiple of %d" % _THREADS)
+    b = AppBuilder("fft")
+    n = 2 * half_elems
+    grid = half_elems // _THREADS  # one thread per butterfly
+    work0 = b.alloc("WORK0", n * _ELEM)
+    work1 = b.alloc("WORK1", n * _ELEM)
+    out = b.alloc("SPECTRA", batches * _THREADS * _ELEM)
+    prep = ptxgen.elementwise("fft_prep", num_inputs=1, alu=1)
+    stage = ptxgen.fft_stage("fft_stage", alu=2)
+    reduce_k = ptxgen.reduce_columns("fft_reduce", alu=1)
+    for batch in range(batches):
+        signal = b.alloc("SIGNAL{}".format(batch), n * _ELEM)
+        b.h2d(signal)
+        b.launch(
+            prep,
+            grid=2 * grid,
+            block=_THREADS,
+            args={"IN0": signal, "OUT": work0},
+            intensity=intensity,
+            tag="fft_prep",
+        )
+        src, dst = work0, work1
+        for s in range(stages):
+            b.launch(
+                stage,
+                grid=grid,
+                block=_THREADS,
+                args={"IN": src, "OUT": dst, "HALF": half_elems},
+                intensity=intensity,
+                tag="fft_s{}".format(s),
+            )
+            src, dst = dst, src
+        # spectrum summary: one block strides over the whole result
+        b.launch(
+            reduce_k,
+            grid=1,
+            block=_THREADS,
+            args={
+                "IN": src,
+                "OUT": out,
+                "STRIDE": _THREADS,
+                "COUNT": n // _THREADS,
+                "OFF": 0,
+                "OUTOFF": batch * _THREADS,
+            },
+            intensity=intensity,
+            tag="fft_reduce",
+        )
+    b.d2h(out)
+    return b.build(
+        table2_kernels=batches * (stages + 2),
+        table2_patterns=(3, 5, 7),
+        batches=batches,
+        stages=stages,
+    )

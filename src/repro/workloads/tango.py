@@ -1,0 +1,126 @@
+"""Tango-derived workload: AlexNet inference (22 kernels).
+
+Layer kernels are access-shape models of the real network:
+
+* **conv / fc layers** read the *entire* input activation buffer (every
+  output tile depends on all input channels) — the fully connected
+  dependency pattern (1) the paper highlights for AlexNet;
+* **relu / softmax** are 1-to-1 elementwise maps (pattern 3);
+* **norm** layers use a finer block partition than their producer, so
+  each block has one exclusive parent (1-to-n, pattern 4);
+* **pool** layers downsample 2:1, reading two producer blocks each
+  (n-to-1).
+
+Weight/bias buffers are inputs staged by host-to-device copies; they
+have no producing kernel and therefore add no dependency edges.
+"""
+
+from repro.workloads import ptxgen
+from repro.workloads.base import AppBuilder
+
+_ELEM = 4
+
+
+def build_alexnet(scale=262144, intensity_conv=1.0, intensity_other=20.0):
+    """22-kernel AlexNet-like pipeline.
+
+    ``scale`` is the element count of the input activation; deeper
+    layers shrink as in the real network.  Layer list (22):
+    conv1 relu1 pool1 norm1  conv2 relu2 pool2 norm2  conv3 relu3
+    conv4 relu4  conv5 relu5 pool5  fc6 relu6 drop6  fc7 relu7
+    fc8 softmax
+    """
+    b = AppBuilder("alexnet")
+    conv = ptxgen.full_read_map("anet_conv", alu=4)
+    ew = ptxgen.elementwise("anet_relu", num_inputs=1, alu=1)
+    pool = ptxgen.elementwise("anet_pool", num_inputs=1, alu=1, scale=2)
+    buffers = {}
+
+    def buf(name, elems):
+        buffers[name] = b.alloc(name, elems * _ELEM)
+        return buffers[name]
+
+    x_in = buf("INPUT", scale)
+    b.h2d(x_in)
+    weights = buf("WEIGHTS", scale)
+    b.h2d(weights)
+
+    current = x_in
+    current_elems = scale
+    launches = []
+
+    def conv_layer(tag, out_elems):
+        nonlocal current, current_elems
+        out = buf(tag, out_elems)
+        b.launch(
+            conv,
+            grid=out_elems // 256,
+            block=256,
+            args={
+                "IN": current,
+                "OUT": out,
+                "SPAN": current_elems,
+                "INOFF": 0,
+                "OUTOFF": 0,
+            },
+            intensity=intensity_conv,
+            tag=tag,
+        )
+        launches.append(tag)
+        current, current_elems = out, out_elems
+
+    def elementwise_layer(tag, block=256):
+        nonlocal current
+        out = buf(tag, current_elems)
+        b.launch(
+            ew,
+            grid=current_elems // block,
+            block=block,
+            args={"IN0": current, "OUT": out},
+            intensity=intensity_other,
+            tag=tag,
+        )
+        launches.append(tag)
+        current = out
+
+    def pool_layer(tag):
+        nonlocal current, current_elems
+        out_elems = current_elems // 2
+        out = buf(tag, current_elems)  # sized to input: scale-2 indexing
+        b.launch(
+            pool,
+            grid=out_elems // 256,
+            block=256,
+            args={"IN0": current, "OUT": out},
+            intensity=intensity_other,
+            tag=tag,
+        )
+        launches.append(tag)
+        current, current_elems = out, out_elems
+
+    conv_layer("conv1", scale // 2)          # 1
+    elementwise_layer("relu1")               # 2
+    pool_layer("pool1")                      # 3
+    elementwise_layer("norm1", block=128)    # 4 (finer blocks: 1-to-n)
+    conv_layer("conv2", scale // 4)          # 5
+    elementwise_layer("relu2")               # 6
+    pool_layer("pool2")                      # 7
+    elementwise_layer("norm2", block=128)    # 8
+    conv_layer("conv3", scale // 8)          # 9
+    elementwise_layer("relu3")               # 10
+    conv_layer("conv4", scale // 8)          # 11
+    elementwise_layer("relu4")               # 12
+    conv_layer("conv5", scale // 16)         # 13
+    elementwise_layer("relu5")               # 14
+    pool_layer("pool5")                      # 15
+    conv_layer("fc6", 1024)                  # 16
+    elementwise_layer("relu6")               # 17
+    elementwise_layer("drop6")               # 18
+    conv_layer("fc7", 1024)                  # 19
+    elementwise_layer("relu7")               # 20
+    conv_layer("fc8", 256)                   # 21
+    elementwise_layer("softmax")             # 22
+    b.d2h(current)
+    return b.build(
+        table2_kernels=len(launches), table2_patterns=(1, 3, 4), scale=scale
+    )

@@ -1,0 +1,117 @@
+"""Wavefront applications for the Fig. 14 comparison.
+
+Following the paper ("we have used the benchmarks in [Wireframe]: six
+applications with wavefront dependency pattern of 4K tasks"), each
+application is a 64x64 task grid processed by anti-diagonals: 127
+levels whose width grows from 1 to 64 and shrinks back, 4096 tasks in
+total.  Each level is one kernel; a task reads its top/left (and
+optionally top-left) neighbours from the previous level.
+
+The six applications differ in arithmetic intensity, dependency arity
+and per-task duration skew — the dimensions along which wavefront codes
+actually vary (dynamic-programming string codes are light and uniform,
+stencil relaxations are heavy, signal alignment is skewed).
+"""
+
+from repro.workloads import ptxgen
+from repro.workloads.base import AppBuilder
+
+_ELEM = 4
+
+#: (name, parent arity, intensity, straggler factor, straggler fraction)
+WAVEFRONT_APPS = (
+    ("sor", 2, 2.0, 6.0, 0.12),
+    ("sw", 3, 3.0, 5.0, 0.15),
+    ("lcs", 2, 1.5, 8.0, 0.10),
+    ("heat2d", 2, 4.0, 4.0, 0.20),
+    ("dtw", 3, 3.0, 7.0, 0.12),
+    ("sat", 2, 2.0, 6.0, 0.15),
+)
+
+
+def build_wavefront(
+    name,
+    side=64,
+    parents=2,
+    intensity=1.0,
+    straggler_factor=0.0,
+    straggler_fraction=0.0,
+    block_threads=64,
+):
+    """One wavefront application: ``2*side - 1`` level kernels.
+
+    ``straggler_factor``/``straggler_fraction`` give a deterministic
+    heavy-tailed per-task duration distribution: a ``fraction`` of the
+    blocks in each level run ``factor`` times longer.  Wavefront codes
+    (alignment scoring, red-black relaxation on irregular data) have
+    exactly this shape, and it is what run-ahead schedules exploit:
+    level-serialized execution pays every level's straggler, while
+    run-ahead overlaps stragglers with the following levels.
+    """
+    b = AppBuilder(name)
+    bufs = [
+        b.alloc("LEVEL{}".format(i), side * block_threads * _ELEM)
+        for i in range(3)
+    ]
+    b.h2d(bufs[0])
+    kernel = ptxgen.wavefront_block(
+        "{}_level".format(name), parents=parents, alu=4
+    )
+    total = 2 * side - 1
+    for d in range(1, total):
+        size = min(d + 1, side, total - d)
+        growing = d < side
+        call = b.launch(
+            kernel,
+            grid=size,
+            block=block_threads,
+            args={
+                "PREV": bufs[(d - 1) % 3],
+                "CUR": bufs[d % 3],
+                "SHIFT": 0 if growing else parents - 1,
+            },
+            intensity=intensity,
+            tag="{}_d{}".format(name, d),
+        )
+        if straggler_factor and straggler_fraction:
+            call.tb_duration_scale_fn = _straggler_scale(
+                d, straggler_factor, straggler_fraction
+            )
+    b.d2h(bufs[(total - 1) % 3])
+    return b.build(
+        wavefront_side=side,
+        parents=parents,
+        tasks=side * side,
+        levels=total - 1,
+    )
+
+
+def _straggler_scale(level, factor, fraction):
+    """Deterministic heavy-tail: a ``fraction`` of blocks (chosen by an
+    integer hash of ``(level, tb_id)``) run ``factor`` times longer."""
+
+    def fn(tb_id):
+        h = (level * 0x9E3779B1 + tb_id * 0x7FEB352D + 0x1B873593) & 0xFFFFFFFF
+        h ^= h >> 15
+        h = (h * 0x2C1B3C6D) & 0xFFFFFFFF
+        h ^= h >> 12
+        if (h / float(1 << 32)) < fraction:
+            return factor
+        return 1.0
+
+    return fn
+
+
+def build_all_wavefronts(side=64):
+    """All six Fig. 14 applications."""
+    return [
+        build_wavefront(
+            name,
+            side=side,
+            parents=p,
+            intensity=i,
+            straggler_factor=f,
+            straggler_fraction=q,
+        )
+        for name, p, i, f, q in WAVEFRONT_APPS
+    ]

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs end to end and tells its story."""
+
+import importlib
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+
+def run_example(module_name, capsys):
+    module = importlib.import_module(module_name)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Dependency graph" in out
+        assert "speedup" in out
+        assert "overlapped" in out
+
+    def test_dnn_inference(self, capsys):
+        out = run_example("dnn_inference", capsys)
+        assert "fully_connected" in out
+        assert "conv1" in out and "softmax" in out
+        assert "consumer4" in out
+
+    def test_stencil_pipeline(self, capsys):
+        out = run_example("stencil_pipeline", capsys)
+        assert "Hotspot" in out and "PathFinder" in out
+        assert "speedup" in out
+
+    def test_wavefront_comparison(self, capsys):
+        out = run_example("wavefront_comparison", capsys)
+        assert "wireframe" in out
+        assert "bm-consumer" in out
+
+    def test_timeline_visualization(self, capsys):
+        out = run_example("timeline_visualization", capsys)
+        assert "Fig 2a" in out and "Fig 2c" in out
+        assert "legend" in out
+
+    def test_multi_stream(self, capsys):
+        out = run_example("multi_stream", capsys)
+        assert "single-stream" in out
+        assert "BlockMaestro" in out

@@ -1,0 +1,196 @@
+"""End-to-end correctness validation via functional replay.
+
+The strongest check in the suite: execute an application *functionally*
+(real values in device memory) twice — once fully serialized, once in
+the exact thread-block start order a BlockMaestro timing simulation
+produced — and require bit-identical final memory.
+
+For this linearization argument to be airtight the dependency graphs
+must cover WAR/WAW hazards too (the paper tracks RAW only and relies on
+its workloads' structure); these tests therefore build plans with all
+three hazard classes enabled, which the graph builder supports.
+"""
+
+import pytest
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import BlockMaestroModel, PrelaunchOnly, WireframeModel
+from repro.sim.funcsim import (
+    FunctionalError,
+    FunctionalSimulator,
+    schedule_from_stats,
+)
+from repro.workloads.base import AppBuilder
+from repro.workloads import ptxgen
+
+from tests.conftest import make_chain_app
+
+
+def serialized_snapshot(app):
+    sim = FunctionalSimulator(app.allocator)
+    return sim.run_application(app)
+
+
+def replay_snapshot(app, stats):
+    sim = FunctionalSimulator(app.allocator)
+    return sim.run_application(app, tb_order=schedule_from_stats(stats))
+
+
+def assert_replay_matches(app, window=3, policies=None):
+    runtime = BlockMaestroRuntime(hazards=("raw", "war", "waw"))
+    plan = runtime.plan(app, reorder=True, window=window)
+    golden = serialized_snapshot(app)
+    for policy in policies or list(SchedulingPolicy):
+        stats = BlockMaestroModel(window=window, policy=policy).run(plan)
+        assert replay_snapshot(app, stats) == golden, policy
+
+
+class TestChainReplay:
+    def test_chain_all_policies(self):
+        app = make_chain_app(num_pairs=3, tbs=6, block=8, name="fr_chain")
+        assert_replay_matches(app)
+
+    def test_chain_with_sync(self):
+        app = make_chain_app(
+            num_pairs=2, tbs=4, block=8, with_sync=True, name="fr_sync"
+        )
+        assert_replay_matches(app)
+
+    def test_prelaunch_schedule_also_correct(self):
+        app = make_chain_app(num_pairs=2, tbs=4, block=8, name="fr_pre")
+        runtime = BlockMaestroRuntime(hazards=("raw", "war", "waw"))
+        plan = runtime.plan(app, reorder=True, window=2)
+        stats = PrelaunchOnly(window=2).run(plan)
+        assert replay_snapshot(app, stats) == serialized_snapshot(app)
+
+    def test_wireframe_schedule_also_correct(self):
+        app = make_chain_app(num_pairs=2, tbs=4, block=8, name="fr_wf")
+        runtime = BlockMaestroRuntime(hazards=("raw", "war", "waw"))
+        plan = runtime.plan(app, reorder=True, window=3)
+        stats = WireframeModel(pending_buffer_tasks=2).run(plan)
+        assert replay_snapshot(app, stats) == serialized_snapshot(app)
+
+
+def build_stencil_app(iterations=3, tbs=5, block=8):
+    b = AppBuilder("fr_stencil")
+    elems = tbs * block
+    src = b.alloc("S0", elems * 4)
+    dst = b.alloc("S1", elems * 4)
+    b.h2d(src)
+    kernel = ptxgen.stencil1d("fr_stencil_step", radius=1, alu=1)
+    a, bb = src, dst
+    for _ in range(iterations):
+        b.launch(kernel, grid=tbs, block=block, args={"IN": a, "OUT": bb})
+        a, bb = bb, a
+    b.d2h(a)
+    return b.build()
+
+
+def build_fan_app(tbs=6, block=8):
+    """Reduction then broadcast: n-to-1 followed by 1-to-n."""
+    b = AppBuilder("fr_fan")
+    elems = tbs * block
+    data = b.alloc("D", elems * 4)
+    scalars = b.alloc("S", 16 * 4)
+    out = b.alloc("O", elems * 4)
+    b.h2d(data)
+    reduce_k = ptxgen.reduce_columns("fr_reduce")
+    scale_k = ptxgen.broadcast_scale("fr_scale")
+    b.launch(
+        reduce_k,
+        grid=1,
+        block=1,
+        args={
+            "IN": data,
+            "OUT": scalars,
+            "STRIDE": 1,
+            "COUNT": elems,
+            "OFF": 0,
+            "OUTOFF": 3,
+        },
+    )
+    b.launch(
+        scale_k,
+        grid=tbs,
+        block=block,
+        args={"IN": data, "SCALARS": scalars, "OUT": out, "SIDX": 3, "OFF": 0},
+    )
+    b.d2h(out)
+    return b.build()
+
+
+class TestPatternReplays:
+    def test_overlapped_stencil(self):
+        assert_replay_matches(build_stencil_app())
+
+    def test_fan_in_fan_out(self):
+        assert_replay_matches(build_fan_app())
+
+    def test_wavefront(self):
+        from repro.workloads.wavefront import build_wavefront
+
+        app = build_wavefront("fr_wave", side=5, parents=2, block_threads=8)
+        assert_replay_matches(app, window=4)
+
+    def test_gaussian_small(self):
+        from repro.workloads.rodinia import build_gaussian
+
+        # n=8 with stride 264 >= n + 256 (fan1 block overshoot)
+        app = build_gaussian(n=8, stride=264)
+        assert_replay_matches(
+            app, window=3, policies=[SchedulingPolicy.CONSUMER_PRIORITY]
+        )
+
+
+class TestFunctionalSimulator:
+    def test_deterministic_seed(self):
+        app = make_chain_app(num_pairs=1, tbs=2, block=4, name="fr_det")
+        assert serialized_snapshot(app) == serialized_snapshot(app)
+
+    def test_schedule_must_cover_all_blocks(self):
+        app = make_chain_app(num_pairs=1, tbs=2, block=4, name="fr_cov")
+        sim = FunctionalSimulator(app.allocator)
+        with pytest.raises(FunctionalError):
+            sim.run_application(app, tb_order=[(0, 0)])
+
+    def test_schedule_rejects_duplicates(self):
+        app = make_chain_app(num_pairs=1, tbs=2, block=4, name="fr_dup")
+        order = [(0, 0), (0, 0), (0, 1), (1, 0), (1, 1)]
+        sim = FunctionalSimulator(app.allocator)
+        with pytest.raises(FunctionalError):
+            sim.run_application(app, tb_order=order)
+
+    def test_out_of_bounds_access_detected(self):
+        b = AppBuilder("fr_oob")
+        buf = b.alloc("B", 16)
+        b.h2d(buf)
+        b.launch(
+            ptxgen.elementwise("fr_oob_k", num_inputs=1),
+            grid=4,
+            block=32,  # reads way past the 4-element buffer
+            args={"IN0": buf, "OUT": buf},
+        )
+        app = b.build()
+        sim = FunctionalSimulator(app.allocator)
+        with pytest.raises(FunctionalError):
+            sim.run_application(app)
+
+    def test_values_actually_flow(self):
+        """The consumer's output depends on the producer's output."""
+        app = make_chain_app(num_pairs=1, tbs=2, block=4, name="fr_flow")
+        sim = FunctionalSimulator(app.allocator)
+        sim.run_application(app)
+        out = sim.memory.read_buffer_f32(app.allocator.buffers[2])
+        assert (out != 0).any()
+
+    def test_wrong_order_detected_for_dependent_blocks(self):
+        """Running a consumer before its producer changes the result —
+        demonstrating the replay check has teeth."""
+        app = make_chain_app(num_pairs=1, tbs=2, block=4, name="fr_teeth")
+        golden = serialized_snapshot(app)
+        # consumer kernel (index 1) entirely before producer (index 0)
+        bad_order = [(1, 0), (1, 1), (0, 0), (0, 1)]
+        sim = FunctionalSimulator(app.allocator)
+        snapshot = sim.run_application(app, tb_order=bad_order)
+        assert snapshot != golden

@@ -1,0 +1,72 @@
+"""Golden regression pins for the calibrated headline results.
+
+The simulator is fully deterministic (integer-hash jitter, seeded
+nothing, tie-broken event queue), so these numbers are exact.  They pin
+the calibration documented in EXPERIMENTS.md: if a change moves them,
+either it is a bug or the calibration story changed — update the pins
+*together with* EXPERIMENTS.md and say why (see CONTRIBUTING.md).
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+GOLDEN = {
+    "path": {
+        "baseline_makespan_ns": 79606.75271694419,
+        "prelaunch": 1.7167220560795655,
+        "producer": 1.7167220560795655,
+        "consumer3": 1.9847494205878058,
+    },
+    "hs": {
+        "baseline_makespan_ns": 122797.08495558337,
+        "prelaunch": 1.8239050008137534,
+        "producer": 1.8644799746767389,
+        "consumer3": 2.2049329493322545,
+    },
+    "bicg": {
+        "baseline_makespan_ns": 277934.601470655,
+        "prelaunch": 1.2089380636074205,
+        "producer": 1.9612487483206478,
+        "consumer3": 1.9612487483206478,
+    },
+    "3mm": {
+        "baseline_makespan_ns": 164368.21369523526,
+        "prelaunch": 1.5481372125712487,
+        "producer": 1.9158639352268807,
+        "consumer3": 2.005182625268354,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.mark.parametrize("workload_name", sorted(GOLDEN))
+def test_golden_speedups(ctx, workload_name):
+    expected = GOLDEN[workload_name]
+    app = ctx.app(workload_name)
+    baseline = ctx.run_model(app, "baseline")
+    assert baseline.makespan_ns == pytest.approx(
+        expected["baseline_makespan_ns"], rel=1e-9
+    )
+    for model in ("prelaunch", "producer", "consumer3"):
+        stats = ctx.run_model(app, model)
+        assert stats.speedup_over(baseline) == pytest.approx(
+            expected[model], rel=1e-9
+        ), (workload_name, model)
+
+
+def test_simulation_bit_reproducible(ctx):
+    """Two independent contexts produce identical results."""
+    fresh = ExperimentContext()
+    app_a = ctx.app("path")
+    app_b = fresh.app("path")
+    a = ctx.run_model(app_a, "consumer3")
+    b = fresh.run_model(app_b, "consumer3")
+    assert a.makespan_ns == b.makespan_ns
+    assert [t.start_ns for t in a.tb_records] == [
+        t.start_ns for t in b.tb_records
+    ]

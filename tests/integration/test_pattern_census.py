@@ -1,0 +1,22 @@
+"""Integration tests for the pattern census experiment."""
+
+from repro.experiments import pattern_census
+from repro.experiments.common import ExperimentContext
+
+
+def test_census_counts_consistent():
+    ctx = ExperimentContext()
+    rows = pattern_census.run(ctx, benchmarks=["path", "bicg", "3mm"])
+    for row in rows:
+        pattern_total = sum(
+            row[c] for c, _ in pattern_census._PATTERN_COLUMNS
+        )
+        assert pattern_total == row["pairs"]
+        assert row["collapsed"] <= row["pairs"]
+
+
+def test_census_formatting():
+    ctx = ExperimentContext()
+    rows = pattern_census.run(ctx, benchmarks=["path"])
+    text = pattern_census.format_rows(rows)
+    assert "Pattern census" in text and "path" in text

@@ -1,0 +1,42 @@
+"""Functional replay across the whole Table II suite (scaled down).
+
+Every workload, at its registry ``small_overrides`` size, must replay
+bit-identically under BlockMaestro consumer-priority schedules — the
+suite-wide closure of the correctness argument.  AlexNet is excluded
+here (its scaled variant still executes ~50k threads in the Python
+value simulator); `repro validate alexnet` covers it interactively.
+"""
+
+import pytest
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import BlockMaestroModel
+from repro.sim.funcsim import FunctionalSimulator, schedule_from_stats
+from repro.workloads import all_workloads
+
+FAST = [spec for spec in all_workloads() if spec.name != "alexnet"]
+
+
+@pytest.mark.parametrize("spec", FAST, ids=lambda s: s.name)
+def test_workload_replays_bit_identically(spec):
+    app = spec.build_small()
+    runtime = BlockMaestroRuntime(hazards=("raw", "war", "waw"))
+    plan = runtime.plan(app, reorder=True, window=3)
+    stats = BlockMaestroModel(
+        window=3, policy=SchedulingPolicy.CONSUMER_PRIORITY
+    ).run(plan)
+    golden = FunctionalSimulator(app.allocator).run_application(app)
+    replayed = FunctionalSimulator(app.allocator).run_application(
+        app, tb_order=schedule_from_stats(stats)
+    )
+    assert replayed == golden
+
+
+def test_validate_cli_command(capsys):
+    from repro.cli import main
+
+    main(["validate", "lud"])
+    out = capsys.readouterr().out
+    assert out.count("PASS") == 2
+    assert "preserve program semantics" in out

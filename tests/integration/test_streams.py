@@ -1,0 +1,197 @@
+"""Integration tests for CUDA Streams support (paper Section III-C)."""
+
+import pytest
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.host.api import StreamSynchronize
+from repro.models import BlockMaestroModel, SerializedBaseline
+from repro.sim.funcsim import FunctionalSimulator, schedule_from_stats
+from repro.workloads.base import AppBuilder
+from repro.workloads.streams import build_pipelines
+
+from tests.conftest import PRODUCE_SRC
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    return BlockMaestroRuntime()
+
+
+class TestPlanChains:
+    def test_chains_are_per_stream(self, runtime):
+        app = build_pipelines(pipelines=2, stages=3, use_streams=True)
+        plan = runtime.plan(app, reorder=False, window=2)
+        for kp in plan.kernels:
+            if kp.chain_prev is not None:
+                assert plan.kernels[kp.chain_prev].stream == kp.stream
+
+    def test_single_stream_chain_is_global(self, runtime):
+        app = build_pipelines(pipelines=2, stages=2, use_streams=False)
+        plan = runtime.plan(app, reorder=False, window=2)
+        for kp in plan.kernels[1:]:
+            assert kp.chain_prev == kp.kernel_index - 1
+
+    def test_interleaved_chains_independent_graphs(self, runtime):
+        """In the single-stream version, consecutive kernels belong to
+        different logical chains: the analysis finds them independent."""
+        app = build_pipelines(pipelines=2, stages=2, use_streams=False)
+        plan = runtime.plan(app, reorder=False, window=2)
+        independents = sum(
+            1
+            for kp in plan.kernels
+            if kp.graph is not None and kp.graph.is_independent
+        )
+        assert independents >= 2
+
+    def test_stream_version_graphs_one_to_one(self, runtime):
+        app = build_pipelines(pipelines=2, stages=3, use_streams=True)
+        plan = runtime.plan(app, reorder=False, window=2)
+        for kp in plan.kernels:
+            if kp.graph is not None:
+                assert not kp.graph.is_independent
+                assert kp.graph.num_edges == kp.num_tbs
+
+    def test_cross_stream_deps_empty_for_independent_pipelines(self, runtime):
+        app = build_pipelines(pipelines=2, stages=2, use_streams=True)
+        plan = runtime.plan(app, reorder=False, window=2)
+        for kp in plan.kernels:
+            assert kp.cross_stream_deps == ()
+
+    def test_cross_stream_dep_detected(self, runtime):
+        """A kernel in stream 2 consuming stream 1's output gets a
+        coarse cross-stream completion barrier."""
+        b = AppBuilder("xstream")
+        a = b.alloc("A", 16 * 128 * 4)
+        mid = b.alloc("MID", 16 * 128 * 4)
+        out = b.alloc("OUTB", 16 * 128 * 4)
+        b.h2d(a, stream=1)
+        b.launch(
+            PRODUCE_SRC, grid=16, block=128,
+            args={"IN0": a, "OUT": mid}, stream=1, tag="producer",
+        )
+        b.launch(
+            PRODUCE_SRC.replace("produce", "consume"), grid=16, block=128,
+            args={"IN0": mid, "OUT": out}, stream=2, tag="consumer",
+        )
+        b.d2h(out, stream=2)
+        app = b.build()
+        plan = runtime.plan(app, reorder=False, window=2)
+        consumer = plan.kernels[1]
+        assert consumer.stream == 2
+        assert consumer.chain_prev is None
+        assert consumer.cross_stream_deps == (0,)
+
+
+class TestStreamExecution:
+    def test_baseline_overlaps_streams(self, runtime):
+        single = build_pipelines(pipelines=3, stages=4, use_streams=False)
+        multi = build_pipelines(pipelines=3, stages=4, use_streams=True)
+        base_single = SerializedBaseline().run(
+            runtime.plan(single, reorder=False, window=1)
+        )
+        base_multi = SerializedBaseline().run(
+            runtime.plan(multi, reorder=False, window=1)
+        )
+        # hand-written streams already overlap the chains in the baseline
+        assert base_multi.makespan_ns < base_single.makespan_ns * 0.75
+
+    def test_blockmaestro_matches_streams_automatically(self, runtime):
+        """The paper's claim: single-stream code under BlockMaestro gets
+        the concurrency a programmer would otherwise need streams for."""
+        single = build_pipelines(pipelines=3, stages=4, use_streams=False)
+        multi = build_pipelines(pipelines=3, stages=4, use_streams=True)
+        bm_single = BlockMaestroModel(
+            window=4, policy=SchedulingPolicy.CONSUMER_PRIORITY
+        ).run(runtime.plan(single, reorder=True, window=4))
+        base_multi = SerializedBaseline().run(
+            runtime.plan(multi, reorder=False, window=1)
+        )
+        assert bm_single.makespan_ns <= base_multi.makespan_ns * 1.05
+
+    def test_blockmaestro_on_streams_still_helps(self, runtime):
+        multi = build_pipelines(pipelines=3, stages=4, use_streams=True)
+        base = SerializedBaseline().run(
+            runtime.plan(multi, reorder=False, window=1)
+        )
+        bm = BlockMaestroModel(window=2).run(
+            runtime.plan(multi, reorder=True, window=2)
+        )
+        assert bm.makespan_ns < base.makespan_ns
+
+    def test_invariants_hold_with_streams(self, runtime):
+        for use_streams in (False, True):
+            app = build_pipelines(
+                pipelines=2, stages=3, use_streams=use_streams
+            )
+            plan = runtime.plan(app, reorder=True, window=3)
+            for policy in SchedulingPolicy:
+                stats = BlockMaestroModel(window=3, policy=policy).run(plan)
+                stats.validate_invariants()
+
+    def test_stream_sync_bypassed_by_blockmaestro(self, runtime):
+        with_sync = build_pipelines(
+            pipelines=2, stages=3, use_streams=True, with_stream_sync=True
+        )
+        without = build_pipelines(pipelines=2, stages=3, use_streams=True)
+        bm_sync = BlockMaestroModel(window=2).run(
+            runtime.plan(with_sync, reorder=True, window=2)
+        )
+        bm_plain = BlockMaestroModel(window=2).run(
+            runtime.plan(without, reorder=True, window=2)
+        )
+        # the explicit stream barriers cost (almost) nothing under BM
+        assert bm_sync.makespan_ns <= bm_plain.makespan_ns * 1.05
+
+    def test_stream_sync_blocks_baseline_host(self, runtime):
+        app = build_pipelines(
+            pipelines=2, stages=2, use_streams=True, with_stream_sync=True
+        )
+        sync_calls = [
+            c for c in app.trace.calls if isinstance(c, StreamSynchronize)
+        ]
+        assert len(sync_calls) == 2
+        stats = SerializedBaseline().run(
+            runtime.plan(app, reorder=False, window=1)
+        )
+        assert stats.counters["host_blocks"] >= len(sync_calls)
+
+
+class TestStreamFunctionalReplay:
+    def test_multistream_schedule_preserves_semantics(self, runtime):
+        app = build_pipelines(pipelines=2, stages=3, tbs=4, use_streams=True)
+        rt = BlockMaestroRuntime(hazards=("raw", "war", "waw"))
+        plan = rt.plan(app, reorder=True, window=3)
+        stats = BlockMaestroModel(
+            window=3, policy=SchedulingPolicy.CONSUMER_PRIORITY
+        ).run(plan)
+        golden = FunctionalSimulator(app.allocator).run_application(app)
+        replayed = FunctionalSimulator(app.allocator).run_application(
+            app, tb_order=schedule_from_stats(stats)
+        )
+        assert replayed == golden
+
+    def test_cross_stream_dependency_replay(self, runtime):
+        b = AppBuilder("xstream_fr")
+        a = b.alloc("A", 4 * 8 * 4)
+        mid = b.alloc("MID", 4 * 8 * 4)
+        out = b.alloc("OUTB", 4 * 8 * 4)
+        b.h2d(a, stream=1)
+        b.launch(
+            PRODUCE_SRC, grid=4, block=8,
+            args={"IN0": a, "OUT": mid}, stream=1,
+        )
+        b.launch(
+            PRODUCE_SRC.replace("produce", "consume"), grid=4, block=8,
+            args={"IN0": mid, "OUT": out}, stream=2,
+        )
+        b.d2h(out, stream=2)
+        app = b.build()
+        rt = BlockMaestroRuntime(hazards=("raw", "war", "waw"))
+        plan = rt.plan(app, reorder=True, window=2)
+        stats = BlockMaestroModel(window=2).run(plan)
+        golden = FunctionalSimulator(app.allocator).run_application(app)
+        replayed = FunctionalSimulator(app.allocator).run_application(
+            app, tb_order=schedule_from_stats(stats)
+        )
+        assert replayed == golden

@@ -1,0 +1,236 @@
+"""Property test: the analyzer's per-TB sets match brute-force execution.
+
+A random-program generator emits small affine kernels (index arithmetic
+over tid/ctaid/params, optional loop, shifted loads, one store).  An
+independent per-thread concrete interpreter executes every thread of
+every block and records the exact byte sets touched.  The analyzer's
+per-TB read/write sets must:
+
+* contain every concretely accessed byte (soundness — mandatory), and
+* for these affine programs, contain nothing else (exactness).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+from repro.ptx.isa import (
+    Immediate,
+    Label,
+    MemOperand,
+    Opcode,
+    ParamRef,
+    Register,
+    SpecialRegister,
+)
+from repro.ptx.parser import parse_kernel
+
+
+# ----------------------------------------------------------------------
+# independent concrete interpreter (the oracle)
+# ----------------------------------------------------------------------
+def run_thread(kernel, args, grid, block, bx, tx):
+    """Execute one thread; return (reads, writes) as byte sets."""
+    regs = {}
+    reads, writes = set(), set()
+
+    def value(op):
+        if isinstance(op, Register):
+            return regs[op]
+        if isinstance(op, Immediate):
+            return op.value
+        if isinstance(op, SpecialRegister):
+            return {
+                ("tid", "x"): tx,
+                ("ctaid", "x"): bx,
+                ("ntid", "x"): block,
+                ("nctaid", "x"): grid,
+            }[(op.family, op.dim)]
+        raise AssertionError(op)
+
+    i = 0
+    steps = 0
+    while i < len(kernel.instructions):
+        steps += 1
+        assert steps < 100000, "oracle runaway"
+        inst = kernel.instructions[i]
+        if inst.guard is not None:
+            taken = bool(regs[inst.guard]) != inst.guard_negated
+            if not taken:
+                i += 1
+                continue
+        op = inst.opcode
+        if op is Opcode.RET:
+            break
+        if op is Opcode.BRA:
+            target = next(s for s in inst.srcs if isinstance(s, Label))
+            i = kernel.labels[target.name]
+            continue
+        if op is Opcode.LD_PARAM:
+            addr = inst.address_operand()
+            regs[inst.dsts[0]] = args[addr.base.name] + addr.offset
+            i += 1
+            continue
+        if op is Opcode.LD_GLOBAL:
+            addr = inst.address_operand()
+            base = regs[addr.base] + addr.offset
+            reads.update(range(base, base + inst.access_width))
+            regs[inst.dsts[0]] = 0.0  # loaded data: opaque float
+            i += 1
+            continue
+        if op is Opcode.ST_GLOBAL:
+            addr = inst.address_operand()
+            base = regs[addr.base] + addr.offset
+            writes.update(range(base, base + inst.access_width))
+            i += 1
+            continue
+        srcs = [value(s) for s in inst.srcs]
+        if op is Opcode.MOV:
+            result = srcs[0]
+        elif op is Opcode.ADD:
+            result = srcs[0] + srcs[1]
+        elif op in (Opcode.MUL_LO, Opcode.MUL_WIDE, Opcode.MUL):
+            result = srcs[0] * srcs[1]
+        elif op in (Opcode.MAD_LO, Opcode.MAD):
+            result = srcs[0] * srcs[1] + srcs[2]
+        elif op is Opcode.SUB:
+            result = srcs[0] - srcs[1]
+        elif op is Opcode.SHL:
+            result = srcs[0] << srcs[1]
+        elif op is Opcode.SETP:
+            a, b = srcs
+            result = {
+                "lt": a < b,
+                "le": a <= b,
+                "gt": a > b,
+                "ge": a >= b,
+                "eq": a == b,
+                "ne": a != b,
+            }[inst.compare]
+        else:
+            raise AssertionError("oracle cannot execute %s" % inst)
+        regs[inst.dsts[0]] = result
+        i += 1
+
+
+    return reads, writes
+
+
+def oracle_tb_sets(kernel, args, grid, block, tb):
+    reads, writes = set(), set()
+    for tx in range(block):
+        r, w = run_thread(kernel, args, grid, block, tb, tx)
+        reads |= r
+        writes |= w
+    return reads, writes
+
+
+# ----------------------------------------------------------------------
+# random affine kernel generator
+# ----------------------------------------------------------------------
+@st.composite
+def affine_kernels(draw):
+    scale = draw(st.sampled_from([1, 2, 4]))
+    shift_a = draw(st.integers(-4, 4))
+    shift_b = draw(st.integers(-4, 4))
+    use_loop = draw(st.booleans())
+    loop_trip = draw(st.integers(1, 5))
+    loop_stride = draw(st.sampled_from([1, 3, 8]))
+    body = [
+        "ld.param.u64 %rdA, [A];",
+        "ld.param.u64 %rdB, [B];",
+        "ld.param.u64 %rdC, [C];",
+        "mov.u32 %r0, %ctaid.x;",
+        "mad.lo.u32 %ri, %r0, %ntid.x, %tid.x;",
+        "mul.lo.u32 %rs, %ri, {};".format(scale),
+    ]
+    if use_loop:
+        body += [
+            "mov.u32 %k, 0;",
+            "LOOP:",
+            "mad.lo.u32 %rj, %k, {}, %rs;".format(loop_stride),
+            "mul.wide.u32 %rd1, %rj, 4;",
+            "add.u64 %rd2, %rdA, %rd1;",
+            "ld.global.f32 %f1, [%rd2{:+d}];".format(4 * shift_a),
+            "add.u32 %k, %k, 1;",
+            "setp.lt.u32 %p1, %k, {};".format(loop_trip),
+            "@%p1 bra LOOP;",
+        ]
+    else:
+        body += [
+            "mul.wide.u32 %rd1, %rs, 4;",
+            "add.u64 %rd2, %rdA, %rd1;",
+            "ld.global.f32 %f1, [%rd2{:+d}];".format(4 * shift_a),
+        ]
+    body += [
+        "mul.wide.u32 %rd3, %rs, 4;",
+        "add.u64 %rd4, %rdB, %rd3;",
+        "ld.global.f32 %f2, [%rd4{:+d}];".format(4 * shift_b),
+        "add.u64 %rd5, %rdC, %rd3;",
+        "st.global.f32 [%rd5], %f2;",
+        "ret;",
+    ]
+    src = (
+        ".visible .entry k (.param .u64 A, .param .u64 B, .param .u64 C)\n{\n"
+        + "\n".join("    " + line for line in body)
+        + "\n}"
+    )
+    grid = draw(st.integers(1, 4))
+    block = draw(st.sampled_from([1, 3, 8, 17]))
+    return src, grid, block
+
+
+ARGS = {"A": 1 << 20, "B": 1 << 21, "C": 1 << 22}
+
+
+@given(affine_kernels())
+@settings(max_examples=80, deadline=None)
+def test_analyzer_matches_oracle(case):
+    src, grid, block = case
+    kernel = parse_kernel(src)
+    # generous expansion budget: with the default budget the analyzer may
+    # legally fall back to bounding boxes (sound, tested separately); the
+    # exactness half of this test needs full enumeration
+    summary = analyze_kernel(
+        kernel,
+        LaunchConfig.create(grid=grid, block=block, args=ARGS),
+        max_intervals=1 << 16,
+    )
+    assert summary.fallback is None, summary.fallback_detail
+    for tb in range(grid):
+        oracle_reads, oracle_writes = oracle_tb_sets(
+            kernel, ARGS, grid, block, tb
+        )
+        analyzed_reads = set()
+        for iv in summary.tb_reads(tb):
+            analyzed_reads.update(range(iv.lo, iv.hi))
+        analyzed_writes = set()
+        for iv in summary.tb_writes(tb):
+            analyzed_writes.update(range(iv.lo, iv.hi))
+        # soundness: everything actually touched is covered
+        assert oracle_reads <= analyzed_reads
+        assert oracle_writes <= analyzed_writes
+        # exactness for affine programs
+        assert analyzed_reads == oracle_reads
+        assert analyzed_writes == oracle_writes
+
+
+@given(affine_kernels())
+@settings(max_examples=40, deadline=None)
+def test_analyzer_sound_under_default_budget(case):
+    """With the production expansion budget the sets may be bounding
+    boxes, but they must still cover every concretely accessed byte."""
+    src, grid, block = case
+    kernel = parse_kernel(src)
+    summary = analyze_kernel(
+        kernel, LaunchConfig.create(grid=grid, block=block, args=ARGS)
+    )
+    assert summary.fallback is None
+    for tb in range(grid):
+        oracle_reads, oracle_writes = oracle_tb_sets(kernel, ARGS, grid, block, tb)
+        reads = summary.tb_reads(tb)
+        writes = summary.tb_writes(tb)
+        for byte in oracle_reads:
+            assert reads.contains(byte)
+        for byte in oracle_writes:
+            assert writes.contains(byte)

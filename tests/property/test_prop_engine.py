@@ -1,0 +1,116 @@
+"""Property tests: scheduling invariants hold on randomized chains.
+
+Random small applications (varying pair counts, grid sizes, intensities,
+sync insertion) run under every execution model; the engine's own
+``validate_invariants`` plus additional cross-model checks must hold:
+
+* no thread block starts before its data dependencies resolved;
+* kernels complete in order;
+* every model processes exactly the same set of thread blocks;
+* relaxed models never lose to the serialized baseline by more than the
+  scheduling-noise epsilon.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import SchedulingPolicy
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import (
+    BlockMaestroModel,
+    PrelaunchOnly,
+    SerializedBaseline,
+)
+
+from tests.conftest import make_chain_app
+
+app_params = st.tuples(
+    st.integers(1, 4),        # pairs
+    st.sampled_from([4, 16, 48]),   # tbs
+    st.sampled_from([64, 256]),     # block
+    st.sampled_from([0.5, 2.0, 8.0]),  # intensity
+    st.booleans(),            # with_sync
+)
+
+
+def build(params, name):
+    pairs, tbs, block, intensity, with_sync = params
+    return make_chain_app(
+        num_pairs=pairs,
+        tbs=tbs,
+        block=block,
+        intensity=intensity,
+        with_sync=with_sync,
+        name=name,
+    )
+
+
+@given(app_params, st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_fine_grain_invariants(params, window):
+    app = build(params, "prop-fine")
+    rt = BlockMaestroRuntime()
+    plan = rt.plan(app, reorder=True, window=window)
+    for policy in SchedulingPolicy:
+        stats = BlockMaestroModel(window=window, policy=policy).run(plan)
+        stats.validate_invariants()
+        # every TB simulated exactly once
+        seen = {(tb.kernel_index, tb.tb_id) for tb in stats.tb_records}
+        expected = {
+            (kp.kernel_index, tb)
+            for kp in plan.kernels
+            for tb in range(kp.num_tbs)
+        }
+        assert seen == expected
+
+
+@given(app_params)
+@settings(max_examples=25, deadline=None)
+def test_models_agree_on_total_work(params):
+    app = build(params, "prop-work")
+    rt = BlockMaestroRuntime()
+    strict = rt.plan(app, reorder=False, window=1)
+    relaxed = rt.plan(app, reorder=True, window=2)
+    base = SerializedBaseline().run(strict)
+    pre = PrelaunchOnly(window=2).run(relaxed)
+    bm = BlockMaestroModel(window=2).run(relaxed)
+    total = sum(tb.duration_ns for tb in base.tb_records)
+    for stats in (pre, bm):
+        assert sum(tb.duration_ns for tb in stats.tb_records) == (
+            __import__("pytest").approx(total)
+        )
+
+
+@given(app_params)
+@settings(max_examples=25, deadline=None)
+def test_relaxed_never_slower_than_baseline(params):
+    app = build(params, "prop-speed")
+    rt = BlockMaestroRuntime()
+    base = SerializedBaseline().run(rt.plan(app, reorder=False, window=1))
+    bm = BlockMaestroModel(window=2).run(rt.plan(app, reorder=True, window=2))
+    # producer-priority BlockMaestro strictly dominates the baseline
+    # schedule; allow a 1% epsilon for dispatch-ordering noise
+    assert bm.makespan_ns <= base.makespan_ns * 1.01
+
+
+@given(app_params)
+@settings(max_examples=15, deadline=None)
+def test_fine_grain_dominates_coarse(params):
+    app = build(params, "prop-dom")
+    rt = BlockMaestroRuntime()
+    plan = rt.plan(app, reorder=True, window=2)
+    pre = PrelaunchOnly(window=2).run(plan)
+    bm = BlockMaestroModel(window=2).run(plan)
+    assert bm.makespan_ns <= pre.makespan_ns * 1.01
+
+
+@given(app_params, st.integers(1, 4))
+@settings(max_examples=15, deadline=None)
+def test_determinism(params, window):
+    app = build(params, "prop-det")
+    rt = BlockMaestroRuntime()
+    plan = rt.plan(app, reorder=True, window=window)
+    model = BlockMaestroModel(
+        window=window, policy=SchedulingPolicy.CONSUMER_PRIORITY
+    )
+    assert model.run(plan).makespan_ns == model.run(plan).makespan_ns

@@ -1,0 +1,97 @@
+"""Property tests for graph classification and encoding invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependency_graph import BipartiteGraph, GraphKind
+from repro.core.encoding import encode_graph, plain_bytes
+from repro.core.patterns import DependencyPattern, classify_pattern
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(1, 12))
+    m = draw(st.integers(1, 12))
+    children_of = [
+        sorted(
+            draw(
+                st.sets(st.integers(0, m - 1), max_size=m)
+            )
+        )
+        for _ in range(n)
+    ]
+    return BipartiteGraph.explicit(n, m, children_of)
+
+
+@given(random_graphs())
+@settings(max_examples=300)
+def test_classification_total(graph):
+    """Every graph gets exactly one label, and degenerate labels agree
+    with graph structure."""
+    info = classify_pattern(graph)
+    assert isinstance(info.pattern, DependencyPattern)
+    if info.pattern is DependencyPattern.INDEPENDENT:
+        assert graph.num_edges == 0
+    if info.pattern is DependencyPattern.ONE_TO_ONE:
+        if graph.kind is GraphKind.EXPLICIT:
+            assert graph.num_parents == graph.num_children
+
+
+@given(random_graphs())
+@settings(max_examples=300)
+def test_parent_counts_consistent(graph):
+    if graph.kind is not GraphKind.EXPLICIT:
+        return
+    for c in range(graph.num_children):
+        assert graph.parent_count(c) == len(graph.parents_of(c))
+    assert sum(graph.parent_counts) == graph.num_edges
+
+
+@given(random_graphs())
+@settings(max_examples=300)
+def test_encoding_never_larger_than_plain(graph):
+    enc = encode_graph(graph)
+    assert enc.encoded_bytes <= max(enc.plain_bytes, 4)
+
+
+@given(random_graphs(), st.integers(1, 8))
+@settings(max_examples=300)
+def test_collapse_is_conservative(graph, threshold):
+    """The effective graph always contains every original edge."""
+    enc = encode_graph(graph, degree_threshold=threshold)
+    if enc.effective is graph:
+        return
+    original = set(graph.edges())
+    effective = set(enc.effective.edges())
+    assert original <= effective
+
+
+@given(random_graphs(), st.integers(1, 8))
+@settings(max_examples=300)
+def test_collapse_respects_threshold(graph, threshold):
+    enc = encode_graph(graph, degree_threshold=threshold)
+    if not enc.collapsed:
+        in_degree_ok = (
+            graph.kind is not GraphKind.EXPLICIT
+            or graph.max_child_in_degree() <= threshold
+        )
+        fc_or_indep = classify_pattern(graph).pattern in (
+            DependencyPattern.FULLY_CONNECTED,
+            DependencyPattern.INDEPENDENT,
+        )
+        assert in_degree_ok or fc_or_indep
+
+
+@given(random_graphs())
+@settings(max_examples=300)
+def test_edges_iteration_matches_adjacency(graph):
+    edges = set(graph.edges())
+    assert len(edges) == graph.num_edges
+    for p, c in edges:
+        assert c in graph.children(p)
+
+
+@given(st.integers(1, 20), st.integers(1, 20))
+def test_fully_connected_plain_quadratic(n, m):
+    g = BipartiteGraph.fully_connected(n, m)
+    assert plain_bytes(g) == 4 * n * m + 4 * n

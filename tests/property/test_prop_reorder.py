@@ -1,0 +1,161 @@
+"""Property tests: queue reordering is safe on randomized traces.
+
+Random applications — random buffer read/write assignments, streams,
+syncs and events — must reorder into a valid topological order that
+preserves every true dependency, keeps kernels in relative order, and
+never changes the call multiset.  The dependency computation itself is
+cross-checked against a naive quadratic oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reorder import reorder_trace
+from repro.host.api import (
+    DeviceSynchronize,
+    EventRecord,
+    KernelLaunchCall,
+    MemcpyD2H,
+    MemcpyH2D,
+    StreamSynchronize,
+    StreamWaitEvent,
+)
+from repro.workloads.base import AppBuilder
+
+from tests.conftest import PRODUCE_SRC
+
+
+@st.composite
+def random_apps(draw):
+    builder = AppBuilder("prop-trace")
+    num_buffers = draw(st.integers(2, 5))
+    buffers = [builder.alloc("B{}".format(i), 4096) for i in range(num_buffers)]
+    actions = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["h2d", "d2h", "kernel", "sync", "ssync", "event"]),
+                st.integers(0, num_buffers - 1),
+                st.integers(0, num_buffers - 1),
+                st.integers(0, 2),  # stream
+                st.integers(0, 3),  # event id
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    recorded_events = set()
+    for kind, src, dst, stream, event in actions:
+        if kind == "h2d":
+            builder.h2d(buffers[src], stream=stream)
+        elif kind == "d2h":
+            builder.d2h(buffers[src], stream=stream)
+        elif kind == "kernel":
+            builder.launch(
+                PRODUCE_SRC,
+                grid=2,
+                block=16,
+                args={"IN0": buffers[src], "OUT": buffers[dst]},
+                stream=stream,
+            )
+        elif kind == "sync":
+            builder.sync()
+        elif kind == "ssync":
+            builder.stream_sync(stream)
+        elif kind == "event":
+            if event in recorded_events:
+                builder.stream_wait_event(event, stream=stream)
+            else:
+                builder.event_record(event, stream=stream)
+                recorded_events.add(event)
+    # ensure at least one kernel so reordering has something to do
+    builder.launch(
+        PRODUCE_SRC,
+        grid=2,
+        block=16,
+        args={"IN0": buffers[0], "OUT": buffers[-1]},
+    )
+    return builder.build()
+
+
+def naive_dependencies(calls):
+    """Quadratic oracle for data dependencies (RAW/WAR/WAW + malloc)."""
+    deps = [set() for _ in calls]
+    for i, call in enumerate(calls):
+        reads_i = {b.buffer_id for b in call.buffers_read()}
+        writes_i = {b.buffer_id for b in call.buffers_written()}
+        uses_i = reads_i | writes_i
+        for j in range(i):
+            other = calls[j]
+            reads_j = {b.buffer_id for b in other.buffers_read()}
+            writes_j = {b.buffer_id for b in other.buffers_written()}
+            defined_j = {b.buffer_id for b in other.buffers_defined()}
+            if writes_j & (reads_i | writes_i):
+                deps[i].add(j)
+            if reads_j & writes_i:
+                deps[i].add(j)
+            if defined_j & uses_i:
+                deps[i].add(j)
+    return deps
+
+
+@given(random_apps())
+@settings(max_examples=60, deadline=None)
+def test_reorder_valid_topological_order(app):
+    order = reorder_trace(app.trace)
+    position = {id(c): i for i, c in enumerate(order)}
+    for i, prereqs in enumerate(app.trace.true_dependencies()):
+        for p in prereqs:
+            assert (
+                position[id(app.trace.calls[p])]
+                < position[id(app.trace.calls[i])]
+            )
+
+
+@given(random_apps())
+@settings(max_examples=60, deadline=None)
+def test_reorder_preserves_call_multiset_and_kernel_order(app):
+    order = reorder_trace(app.trace)
+    assert sorted(map(id, order)) == sorted(map(id, app.trace.calls))
+    original_kernels = [id(c) for c in app.trace.calls if c.is_kernel]
+    reordered_kernels = [id(c) for c in order if c.is_kernel]
+    assert original_kernels == reordered_kernels
+
+
+@given(random_apps())
+@settings(max_examples=60, deadline=None)
+def test_data_dependencies_superset_of_oracle(app):
+    """The computed dependencies must include every data edge the naive
+    oracle finds (they may add barrier edges on top)."""
+    calls = app.trace.calls
+    computed = [set(d) for d in app.trace.true_dependencies()]
+    # barrier edges make some oracle edges transitive: close over them
+    closure = [set(d) for d in computed]
+    for i in range(len(calls)):
+        frontier = list(closure[i])
+        while frontier:
+            j = frontier.pop()
+            for k in closure[j]:
+                if k not in closure[i]:
+                    closure[i].add(k)
+                    frontier.append(k)
+    oracle = naive_dependencies(calls)
+    for i in range(len(calls)):
+        assert oracle[i] <= closure[i], (
+            i,
+            str(calls[i]),
+            oracle[i] - closure[i],
+        )
+
+
+@given(random_apps())
+@settings(max_examples=40, deadline=None)
+def test_random_traces_simulate_under_all_models(app):
+    from repro.core.runtime import BlockMaestroRuntime
+    from repro.models import BlockMaestroModel, SerializedBaseline
+
+    rt = BlockMaestroRuntime()
+    base = SerializedBaseline().run(rt.plan(app, reorder=False, window=1))
+    bm = BlockMaestroModel(window=3).run(rt.plan(app, reorder=True, window=3))
+    base.validate_invariants()
+    bm.validate_invariants()
+    assert len(base.tb_records) == len(bm.tb_records)

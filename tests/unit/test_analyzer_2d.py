@@ -1,0 +1,223 @@
+"""Analyzer tests for 2-D/3-D blocks, atomics, and misc instruction paths."""
+
+import pytest
+
+from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+from repro.analysis.intervals import Interval, IntervalSet
+from repro.ptx.parser import parse_kernel
+
+
+class Test2DBlocks:
+    def test_tid_y_indexing(self):
+        """2-D tiles: address = (tid.y * W + tid.x) * 4 per block row."""
+        kernel = parse_kernel(
+            """
+            .visible .entry tile (.param .u64 A, .param .u32 W)
+            {
+                ld.param.u64 %rdA, [A];
+                ld.param.u32 %rW, [W];
+                mov.u32 %ty, %tid.y;
+                mad.lo.u32 %row, %ty, %rW, %tid.x;
+                mov.u32 %by, %ctaid.y;
+                mul.lo.u32 %boff, %by, 64;
+                add.u32 %i, %row, %boff;
+                mul.wide.u32 %rd1, %i, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                st.global.f32 [%rd2], %f0;
+                ret;
+            }
+            """
+        )
+        launch = LaunchConfig.create(
+            grid=(1, 2), block=(8, 8), args={"A": 0, "W": 8}
+        )
+        summary = analyze_kernel(kernel, launch)
+        assert summary.fallback is None
+        # block (0,0): 8x8 dense tile of 64 words
+        assert summary.tb_writes(0) == IntervalSet([Interval(0, 256)])
+        # block (0,1): next 64 words
+        assert summary.tb_writes(1) == IntervalSet([Interval(256, 512)])
+
+    def test_tid_z_supported(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k3d (.param .u64 A)
+            {
+                ld.param.u64 %rdA, [A];
+                mov.u32 %tz, %tid.z;
+                mul.wide.u32 %rd1, %tz, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                st.global.f32 [%rd2], %f0;
+                ret;
+            }
+            """
+        )
+        launch = LaunchConfig.create(grid=1, block=(1, 1, 4), args={"A": 0})
+        summary = analyze_kernel(kernel, launch)
+        assert summary.tb_writes(0) == IntervalSet([Interval(0, 16)])
+
+    def test_3d_grid_linearization(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry g3 (.param .u64 A)
+            {
+                ld.param.u64 %rdA, [A];
+                mov.u32 %bz, %ctaid.z;
+                mul.lo.u32 %i, %bz, 16;
+                mul.wide.u32 %rd1, %i, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                st.global.f32 [%rd2], %f0;
+                ret;
+            }
+            """
+        )
+        launch = LaunchConfig.create(grid=(2, 2, 2), block=1, args={"A": 0})
+        summary = analyze_kernel(kernel, launch)
+        # tb 4 is (0,0,1): writes at z-offset 16 words
+        assert summary.tb_writes(4) == IntervalSet([Interval(64, 68)])
+        # tb 0..3 share z = 0
+        assert summary.tb_writes(3) == summary.tb_writes(0)
+
+
+class TestAtomics:
+    def test_atomic_counts_as_read_and_write(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry hist (.param .u64 C)
+            {
+                ld.param.u64 %rdC, [C];
+                mov.u32 %t, %tid.x;
+                mul.wide.u32 %rd1, %t, 4;
+                add.u64 %rd2, %rdC, %rd1;
+                atom.global.add.u32 [%rd2], 1;
+                ret;
+            }
+            """
+        )
+        launch = LaunchConfig.create(grid=1, block=16, args={"C": 0})
+        summary = analyze_kernel(kernel, launch)
+        assert summary.fallback is None
+        assert summary.tb_reads(0) == IntervalSet([Interval(0, 64)])
+        assert summary.tb_writes(0) == IntervalSet([Interval(0, 64)])
+
+    def test_atomic_creates_dependency_edges(self):
+        """An atomics kernel feeding a reader: RAW via the atomic."""
+        from repro.core.dependency_graph import build_bipartite_graph
+        from tests.conftest import PRODUCE_SRC
+
+        hist = parse_kernel(
+            """
+            .visible .entry hist (.param .u64 IN0, .param .u64 OUT)
+            {
+                ld.param.u64 %rdC, [OUT];
+                mov.u32 %b, %ctaid.x;
+                mad.lo.u32 %i, %b, %ntid.x, %tid.x;
+                mul.wide.u32 %rd1, %i, 4;
+                add.u64 %rd2, %rdC, %rd1;
+                atom.global.add.u32 [%rd2], 1;
+                ret;
+            }
+            """
+        )
+        parent = analyze_kernel(
+            hist,
+            LaunchConfig.create(4, 32, {"IN0": 1 << 18, "OUT": 1 << 20}),
+        )
+        reader = analyze_kernel(
+            parse_kernel(PRODUCE_SRC),
+            LaunchConfig.create(4, 32, {"IN0": 1 << 20, "OUT": 1 << 22}),
+        )
+        graph = build_bipartite_graph(parent, reader)
+        assert graph.num_edges == 4  # 1-to-1 over the atomically-written buffer
+
+
+class TestMiscInstructionPaths:
+    def test_barrier_ignored_by_analysis(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+                ld.param.u64 %rdA, [A];
+                bar.sync 0;
+                mov.u32 %t, %tid.x;
+                mul.wide.u32 %rd1, %t, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                st.global.f32 [%rd2], %f0;
+                ret;
+            }
+            """
+        )
+        summary = analyze_kernel(
+            kernel, LaunchConfig.create(1, 8, {"A": 0})
+        )
+        assert summary.fallback is None
+        assert summary.dynamic_mix["barrier"] == 1
+
+    def test_selp_joins_operands(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+                ld.param.u64 %rdA, [A];
+                mov.u32 %t, %tid.x;
+                setp.lt.u32 %p, %t, 4;
+                selp.u32 %i, 0, 8, %p;
+                mul.wide.u32 %rd1, %i, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                st.global.f32 [%rd2], %f0;
+                ret;
+            }
+            """
+        )
+        summary = analyze_kernel(kernel, LaunchConfig.create(1, 8, {"A": 0}))
+        assert summary.fallback is None
+        # the join covers both selp arms: bytes 0..36 at least partially
+        writes = summary.tb_writes(0)
+        assert writes.overlaps_interval(Interval(0, 4))
+        assert writes.overlaps_interval(Interval(32, 36))
+
+    def test_shared_memory_value_taints_address(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+                ld.param.u64 %rdA, [A];
+                ld.shared.u32 %i, [%rs0];
+                mul.wide.u32 %rd1, %i, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                st.global.f32 [%rd2], %f0;
+                ret;
+            }
+            """
+        )
+        summary = analyze_kernel(kernel, LaunchConfig.create(1, 8, {"A": 0}))
+        # the undefined shared-address register trips Algorithm 1's
+        # "unresolved" check; with a defined address the forward pass
+        # taints it as memory-derived — either way the analysis falls back
+        assert summary.fallback in ("non_static", "unresolved")
+        summary2 = analyze_kernel(
+            kernel,
+            LaunchConfig.create(1, 8, {"A": 0}),
+            run_algorithm1=False,
+        )
+        assert summary2.fallback == "non_static"
+
+    def test_guarded_ret_does_not_truncate(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+                ld.param.u64 %rdA, [A];
+                mov.u32 %t, %tid.x;
+                setp.lt.u32 %p, %t, 4;
+                @%p ret;
+                mul.wide.u32 %rd1, %t, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                st.global.f32 [%rd2], %f0;
+                ret;
+            }
+            """
+        )
+        summary = analyze_kernel(kernel, LaunchConfig.create(1, 8, {"A": 0}))
+        assert summary.fallback is None
+        assert not summary.tb_writes(0).empty

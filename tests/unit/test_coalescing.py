@@ -1,0 +1,127 @@
+"""Unit tests for the coalescing factor and thread-stride capture."""
+
+import pytest
+
+from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+from repro.ptx.parser import parse_kernel
+from repro.sim.config import GPUConfig
+from repro.sim.cost import CostModel
+from repro.workloads import ptxgen
+
+
+def summary_of(src, grid=2, block=64, args=None):
+    kernel = parse_kernel(src)
+    return analyze_kernel(
+        kernel, LaunchConfig.create(grid, block, args or {})
+    )
+
+
+class TestThreadStrideCapture:
+    def test_contiguous_access(self):
+        s = summary_of(
+            ptxgen.elementwise("k"), args={"IN0": 0, "OUT": 1 << 20}
+        )
+        assert all(r.thread_stride == 4 for r in s.records)
+
+    def test_strided_access(self):
+        s = summary_of(
+            ptxgen.elementwise("k", scale=4), args={"IN0": 0, "OUT": 1 << 20}
+        )
+        assert all(r.thread_stride == 16 for r in s.records)
+
+    def test_broadcast_access(self):
+        s = summary_of(
+            ptxgen.broadcast_scale("k"),
+            args={"IN": 0, "SCALARS": 1 << 18, "OUT": 1 << 20, "SIDX": 2, "OFF": 0},
+        )
+        strides = {r.thread_stride for r in s.records}
+        assert 0 in strides  # the scalar read
+        assert 4 in strides  # the vector accesses
+
+    def test_row_per_thread_matvec(self):
+        s = summary_of(
+            ptxgen.matvec("k"),
+            args={"A": 0, "X": 1 << 20, "Y": 1 << 21, "K": 32},
+        )
+        a_read = s.records[0]
+        assert a_read.thread_stride == 32 * 4  # one row per thread
+
+
+class TestCoalescingFactor:
+    def test_contiguous_is_one(self):
+        s = summary_of(
+            ptxgen.elementwise("k"), args={"IN0": 0, "OUT": 1 << 20}
+        )
+        assert s.coalescing_factor() == pytest.approx(1.0)
+
+    def test_broadcast_is_one(self):
+        s = summary_of(
+            ptxgen.broadcast_scale("k"),
+            args={"IN": 0, "SCALARS": 1 << 18, "OUT": 1 << 20, "SIDX": 0, "OFF": 0},
+        )
+        assert s.coalescing_factor() <= 1.01
+
+    def test_wide_stride_saturates_at_warp_size(self):
+        s = summary_of(
+            ptxgen.matvec("k"),
+            args={"A": 0, "X": 1 << 20, "Y": 1 << 21, "K": 512},
+        )
+        # the A read alone is fully uncoalesced (one line per thread)
+        factors = []
+        for record in s.records:
+            single = type(s)(
+                kernel_name="x", launch=s.launch, records=(record,)
+            )
+            factors.append(single.coalescing_factor())
+        assert max(factors) == pytest.approx(32.0)
+
+    def test_factor_monotone_in_stride(self):
+        previous = 0.0
+        for scale in (1, 2, 4, 8, 16, 32):
+            s = summary_of(
+                ptxgen.elementwise("k", scale=scale),
+                args={"IN0": 0, "OUT": 1 << 20},
+            )
+            factor = s.coalescing_factor()
+            assert factor >= previous - 1e-9
+            previous = factor
+
+    def test_fallback_summary_neutral(self):
+        s = summary_of(
+            ptxgen.indirect_gather("k"),
+            args={"DATA": 0, "IDX": 1 << 20, "OUT": 1 << 21},
+        )
+        assert s.fallback == "non_static"
+        assert s.coalescing_factor() == 1.0
+
+
+class TestCostModelCoalescing:
+    def test_duration_scales_with_factor(self):
+        model = CostModel(GPUConfig())
+        mix = {"mem_global": 10, "alu": 5}
+        base = model.tb_duration_ns(mix, 128, coalescing=1.0)
+        worse = model.tb_duration_ns(mix, 128, coalescing=8.0)
+        assert worse > base * 2
+
+    def test_requests_scale_with_factor(self):
+        model = CostModel(GPUConfig())
+        mix = {"mem_global": 4}
+        assert model.kernel_memory_requests(mix, 128, 10, coalescing=2.0) == (
+            pytest.approx(2 * model.kernel_memory_requests(mix, 128, 10))
+        )
+
+    def test_config_flag_routes_through_runtime(self):
+        from repro.core.runtime import BlockMaestroRuntime
+        from repro.workloads.polybench import build_bicg
+
+        app = build_bicg(blocks=4, k=64)
+        plan_off = BlockMaestroRuntime(
+            GPUConfig(model_coalescing=False)
+        ).plan(app, reorder=False, window=1)
+        plan_on = BlockMaestroRuntime(
+            GPUConfig(model_coalescing=True)
+        ).plan(app, reorder=False, window=1)
+        assert (
+            plan_on.kernels[0].tb_duration_ns(0)
+            > plan_off.kernels[0].tb_duration_ns(0)
+        )

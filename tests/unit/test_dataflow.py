@@ -1,0 +1,167 @@
+"""Unit tests for CFG construction, loop discovery, and Algorithm 1."""
+
+import pytest
+
+from repro.analysis.dataflow import (
+    IrreducibleControlFlow,
+    NonStaticAccess,
+    backward_slice,
+    build_cfg,
+    find_loops,
+)
+from repro.ptx.parser import parse_kernel
+
+from tests.conftest import INDIRECT_SRC, ROWSUM_SRC, VECADD_SRC
+
+
+class TestBackwardSlice:
+    def test_vecadd_load_resolves(self, vecadd_kernel):
+        loads = [i for i, inst in vecadd_kernel.global_accesses()]
+        result = backward_slice(vecadd_kernel, loads[0])
+        assert result.fully_resolved
+        assert result.instructions  # contains address computation
+
+    def test_slice_contains_param_load(self, vecadd_kernel):
+        loads = [i for i, inst in vecadd_kernel.global_accesses()]
+        result = backward_slice(vecadd_kernel, loads[0])
+        from repro.ptx.isa import Opcode
+
+        sliced = [vecadd_kernel.instructions[j] for j in result.instructions]
+        assert any(inst.opcode is Opcode.LD_PARAM for inst in sliced)
+
+    def test_slice_ascending_order(self, vecadd_kernel):
+        loads = [i for i, _ in vecadd_kernel.global_accesses()]
+        result = backward_slice(vecadd_kernel, loads[-1])
+        assert list(result.instructions) == sorted(result.instructions)
+
+    def test_indirect_access_detected(self, indirect_kernel):
+        accesses = [i for i, _ in indirect_kernel.global_accesses()]
+        # the second load's address derives from the first load
+        with pytest.raises(NonStaticAccess) as excinfo:
+            backward_slice(indirect_kernel, accesses[1])
+        assert excinfo.value.access_index == accesses[1]
+        assert excinfo.value.load_index == accesses[0]
+
+    def test_first_access_of_indirect_kernel_is_static(self, indirect_kernel):
+        accesses = [i for i, _ in indirect_kernel.global_accesses()]
+        result = backward_slice(indirect_kernel, accesses[0])
+        assert result.fully_resolved
+
+    def test_non_memory_instruction_rejected(self, vecadd_kernel):
+        from repro.ptx.isa import Opcode
+
+        mov_index = next(
+            i
+            for i, inst in enumerate(vecadd_kernel.instructions)
+            if inst.opcode is Opcode.MOV
+        )
+        with pytest.raises(ValueError):
+            backward_slice(vecadd_kernel, mov_index)
+
+    def test_undefined_register_unresolved(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+                ld.global.f32 %f1, [%rd9];
+                ret;
+            }
+            """
+        )
+        result = backward_slice(kernel, 0)
+        assert not result.fully_resolved
+
+
+class TestCFG:
+    def test_vecadd_blocks(self, vecadd_kernel):
+        cfg = build_cfg(vecadd_kernel)
+        # guarded branch splits the body into >= 2 blocks
+        assert len(cfg.blocks) >= 2
+
+    def test_straight_line_single_block(self):
+        kernel = parse_kernel(
+            ".visible .entry k (.param .u64 A)\n{\n ld.param.u64 %rd1, [A];\n ret;\n}"
+        )
+        cfg = build_cfg(kernel)
+        assert len(cfg.blocks) == 1
+
+    def test_edges_consistent(self, rowsum_kernel):
+        cfg = build_cfg(rowsum_kernel)
+        for block in cfg.blocks:
+            for succ in block.successors:
+                assert block.index in cfg.blocks[succ].predecessors
+
+    def test_block_of(self, vecadd_kernel):
+        cfg = build_cfg(vecadd_kernel)
+        block = cfg.block_of(0)
+        assert 0 in block
+
+    def test_conditional_branch_two_successors(self, rowsum_kernel):
+        cfg = build_cfg(rowsum_kernel)
+        latch_blocks = [b for b in cfg.blocks if len(b.successors) == 2]
+        assert latch_blocks  # the @%p1 bra LOOP block
+
+
+class TestLoops:
+    def test_rowsum_has_one_loop(self, rowsum_kernel):
+        loops = find_loops(rowsum_kernel)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == rowsum_kernel.labels["LOOP"]
+        assert rowsum_kernel.instructions[loop.latch].is_branch
+
+    def test_vecadd_no_loops(self, vecadd_kernel):
+        assert find_loops(vecadd_kernel) == []
+
+    def test_nested_loops_depth(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+                mov.u32 %i, 0;
+            OUTER:
+                mov.u32 %j, 0;
+            INNER:
+                add.u32 %j, %j, 1;
+                setp.lt.u32 %p1, %j, 4;
+                @%p1 bra INNER;
+                add.u32 %i, %i, 1;
+                setp.lt.u32 %p2, %i, 4;
+                @%p2 bra OUTER;
+                ret;
+            }
+            """
+        )
+        loops = find_loops(kernel)
+        assert len(loops) == 2
+        outer = min(loops, key=lambda l: l.header)
+        inner = max(loops, key=lambda l: l.header)
+        assert outer.depth == 0
+        assert inner.depth == 1
+        assert inner.parent is not None
+
+    def test_overlapping_loops_rejected(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+            L1:
+                mov.u32 %a, 0;
+            L2:
+                add.u32 %a, %a, 1;
+                setp.lt.u32 %p1, %a, 4;
+                @%p1 bra L1;
+                setp.lt.u32 %p2, %a, 8;
+                @%p2 bra L2;
+                ret;
+            }
+            """
+        )
+        with pytest.raises(IrreducibleControlFlow):
+            find_loops(kernel)
+
+    def test_loop_contains(self, rowsum_kernel):
+        loop = find_loops(rowsum_kernel)[0]
+        assert loop.header in loop
+        assert loop.latch in loop
+        assert (loop.header - 1) not in loop

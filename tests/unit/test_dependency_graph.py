@@ -1,0 +1,196 @@
+"""Unit tests for bipartite dependency graphs and their builder."""
+
+import pytest
+
+from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+from repro.core.dependency_graph import (
+    BipartiteGraph,
+    GraphKind,
+    build_bipartite_graph,
+)
+from repro.ptx.parser import parse_kernel
+
+from tests.conftest import PRODUCE_SRC
+
+
+class TestBipartiteGraph:
+    def test_independent(self):
+        g = BipartiteGraph.independent(4, 6)
+        assert g.num_edges == 0
+        assert g.children(0) == ()
+        assert g.parent_count(5) == 0
+        assert g.max_child_in_degree() == 0
+
+    def test_fully_connected(self):
+        g = BipartiteGraph.fully_connected(3, 2)
+        assert g.num_edges == 6
+        assert g.children(0) == (0, 1)
+        assert g.parent_count(1) == 3
+        assert g.parents_of(0) == (0, 1, 2)
+
+    def test_explicit_basic(self):
+        g = BipartiteGraph.explicit(3, 3, [[0], [1], [2]])
+        assert g.kind is GraphKind.EXPLICIT
+        assert g.num_edges == 3
+        assert g.parent_count(1) == 1
+        assert g.parents_of(2) == (2,)
+
+    def test_explicit_dedups_children(self):
+        g = BipartiteGraph.explicit(1, 2, [[1, 1, 0]])
+        assert g.kind is GraphKind.FULLY_CONNECTED  # complete 1x2
+
+    def test_explicit_empty_canonicalizes_independent(self):
+        g = BipartiteGraph.explicit(2, 2, [[], []])
+        assert g.is_independent
+
+    def test_explicit_complete_canonicalizes_fc(self):
+        g = BipartiteGraph.explicit(2, 2, [[0, 1], [0, 1]])
+        assert g.is_fully_connected
+
+    def test_explicit_validates_shape(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph.explicit(2, 2, [[0]])
+        with pytest.raises(ValueError):
+            BipartiteGraph.explicit(1, 2, [[5]])
+
+    def test_out_of_range_queries(self):
+        g = BipartiteGraph.explicit(2, 2, [[0], []])
+        with pytest.raises(IndexError):
+            g.children(2)
+        with pytest.raises(IndexError):
+            g.parent_count(2)
+
+    def test_edges_iteration(self):
+        g = BipartiteGraph.explicit(2, 3, [[0, 2], [1]])
+        assert sorted(g.edges()) == [(0, 0), (0, 2), (1, 1)]
+
+    def test_degrees(self):
+        g = BipartiteGraph.explicit(3, 2, [[0], [0], [1]])
+        assert g.max_child_in_degree() == 2
+        assert g.max_parent_out_degree() == 1
+
+
+def _summary(src, grid, block, args):
+    return analyze_kernel(parse_kernel(src), LaunchConfig.create(grid, block, args))
+
+
+class TestBuilder:
+    def test_one_to_one(self):
+        parent = _summary(
+            PRODUCE_SRC, 4, 64, {"IN0": 0, "OUT": 1 << 20}
+        )
+        child = _summary(
+            PRODUCE_SRC.replace("produce", "c"),
+            4,
+            64,
+            {"IN0": 1 << 20, "OUT": 1 << 21},
+        )
+        g = build_bipartite_graph(parent, child)
+        assert g.kind is GraphKind.EXPLICIT
+        assert all(g.children(p) == (p,) for p in range(4))
+
+    def test_independent_buffers(self):
+        parent = _summary(PRODUCE_SRC, 4, 64, {"IN0": 0, "OUT": 1 << 20})
+        child = _summary(
+            PRODUCE_SRC.replace("produce", "c"),
+            4,
+            64,
+            {"IN0": 1 << 22, "OUT": 1 << 23},
+        )
+        g = build_bipartite_graph(parent, child)
+        assert g.is_independent
+
+    def test_fallback_forces_fully_connected(self, indirect_kernel):
+        parent = _summary(PRODUCE_SRC, 4, 64, {"IN0": 0, "OUT": 1 << 20})
+        child = analyze_kernel(
+            indirect_kernel,
+            LaunchConfig.create(
+                4, 64, {"DATA": 1 << 20, "IDX": 1 << 22, "OUT": 1 << 23}
+            ),
+        )
+        g = build_bipartite_graph(parent, child)
+        assert g.is_fully_connected
+
+    def test_edge_budget_collapses(self):
+        # child reads the parent's whole output: every pair connected
+        reader = """
+        .visible .entry reader (.param .u64 IN0, .param .u64 OUT, .param .u32 SPAN)
+        {
+            ld.param.u64 %rdA, [IN0];
+            ld.param.u64 %rdB, [OUT];
+            ld.param.u32 %rS, [SPAN];
+            mov.u32 %t, %tid.x;
+            mov.u32 %k, 0;
+            mov.f32 %facc, 0.0;
+        LOOP:
+            add.u32 %i, %k, %t;
+            mul.wide.u32 %rd1, %i, 4;
+            add.u64 %rd2, %rdA, %rd1;
+            ld.global.f32 %f1, [%rd2];
+            add.f32 %facc, %facc, %f1;
+            add.u32 %k, %k, %ntid.x;
+            setp.lt.u32 %p1, %k, %rS;
+            @%p1 bra LOOP;
+            mov.u32 %b, %ctaid.x;
+            mad.lo.u32 %o, %b, %ntid.x, %tid.x;
+            mul.wide.u32 %rd3, %o, 4;
+            add.u64 %rd4, %rdB, %rd3;
+            st.global.f32 [%rd4], %facc;
+            ret;
+        }
+        """
+        parent = _summary(PRODUCE_SRC, 8, 64, {"IN0": 0, "OUT": 1 << 20})
+        child = _summary(
+            reader, 8, 64, {"IN0": 1 << 20, "OUT": 1 << 22, "SPAN": 512}
+        )
+        g = build_bipartite_graph(parent, child, max_explicit_edges=16)
+        assert g.is_fully_connected
+
+    def test_waw_hazard_detection(self):
+        # two kernels writing the same buffer: no RAW edges, but WAW edges
+        parent = _summary(PRODUCE_SRC, 4, 64, {"IN0": 0, "OUT": 1 << 20})
+        child = _summary(
+            PRODUCE_SRC.replace("produce", "again"),
+            4,
+            64,
+            {"IN0": 1 << 22, "OUT": 1 << 20},
+        )
+        raw_only = build_bipartite_graph(parent, child, hazards=("raw",))
+        assert raw_only.is_independent
+        with_waw = build_bipartite_graph(parent, child, hazards=("raw", "waw"))
+        assert with_waw.num_edges == 4
+
+    def test_war_hazard_detection(self):
+        # child overwrites what parent reads
+        parent = _summary(PRODUCE_SRC, 4, 64, {"IN0": 0, "OUT": 1 << 20})
+        child = _summary(
+            PRODUCE_SRC.replace("produce", "w"),
+            4,
+            64,
+            {"IN0": 1 << 21, "OUT": 0},
+        )
+        raw_only = build_bipartite_graph(parent, child, hazards=("raw",))
+        assert raw_only.is_independent
+        with_war = build_bipartite_graph(parent, child, hazards=("raw", "war"))
+        assert with_war.num_edges == 4
+
+    def test_requires_hazard(self):
+        parent = _summary(PRODUCE_SRC, 2, 32, {"IN0": 0, "OUT": 1 << 20})
+        with pytest.raises(ValueError):
+            build_bipartite_graph(parent, parent, hazards=())
+
+    def test_shifted_reads_overlap_neighbours(self):
+        shifted = PRODUCE_SRC.replace(
+            "add.u64 %rd2, %rdA, %rd1;", "add.u64 %rd2, %rdA, %rd1;"
+        ).replace("ld.global.f32 %f1, [%rd2];", "ld.global.f32 %f1, [%rd2-4];")
+        parent = _summary(PRODUCE_SRC, 4, 64, {"IN0": 0, "OUT": 1 << 20})
+        child = _summary(
+            shifted.replace("produce", "sh"),
+            4,
+            64,
+            {"IN0": 1 << 20, "OUT": 1 << 21},
+        )
+        g = build_bipartite_graph(parent, child)
+        # block b reads one element of block b-1
+        assert g.parents_of(1) == (0, 1)
+        assert g.parents_of(0) == (0,)

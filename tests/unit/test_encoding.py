@@ -1,0 +1,91 @@
+"""Unit tests for dependency graph encodings (Tables I and III)."""
+
+from repro.core.dependency_graph import BipartiteGraph
+from repro.core.encoding import (
+    DEFAULT_DEGREE_THRESHOLD,
+    encode_graph,
+    plain_bytes,
+)
+from repro.core.patterns import DependencyPattern
+
+
+class TestPlainBytes:
+    def test_independent_is_zero(self):
+        assert plain_bytes(BipartiteGraph.independent(8, 8)) == 0
+
+    def test_explicit(self):
+        g = BipartiteGraph.explicit(4, 4, [[0], [1], [2], [3]])
+        assert plain_bytes(g) == 4 * 4 + 4 * 4  # edges + parent index
+
+    def test_fully_connected_quadratic(self):
+        g = BipartiteGraph.fully_connected(16, 16)
+        assert plain_bytes(g) == 4 * 256 + 4 * 16
+
+
+class TestEncodeGraph:
+    def test_fully_connected_is_constant(self):
+        enc = encode_graph(BipartiteGraph.fully_connected(64, 64))
+        assert enc.encoded_bytes == 4
+        assert enc.storage_ratio < 0.01
+
+    def test_independent_is_free(self):
+        enc = encode_graph(BipartiteGraph.independent(64, 64))
+        assert enc.encoded_bytes == 0
+        assert enc.storage_ratio is None
+
+    def test_n_group_linear(self):
+        children = [
+            list(range((p // 8) * 8, (p // 8 + 1) * 8)) for p in range(64)
+        ]
+        g = BipartiteGraph.explicit(64, 64, children)
+        enc = encode_graph(g)
+        assert enc.original_pattern.pattern is DependencyPattern.N_GROUP
+        assert enc.encoded_bytes == 4 * 128
+        assert enc.encoded_bytes < enc.plain_bytes
+
+    def test_one_to_one_stays_plain(self):
+        g = BipartiteGraph.explicit(32, 32, [[p] for p in range(32)])
+        enc = encode_graph(g)
+        assert enc.encoded_bytes == enc.plain_bytes
+        assert enc.storage_ratio == 1.0
+
+    def test_overlapped_stays_plain(self):
+        children = [[c for c in (p - 1, p) if 0 <= c < 32] for p in range(32)]
+        g = BipartiteGraph.explicit(32, 32, children)
+        enc = encode_graph(g)
+        assert enc.storage_ratio == 1.0
+
+    def test_no_collapse_at_threshold(self):
+        n = DEFAULT_DEGREE_THRESHOLD
+        g = BipartiteGraph.explicit(n + 1, 2, [[0]] * n + [[1]])
+        enc = encode_graph(g)
+        assert not enc.collapsed
+        assert enc.effective is g
+
+    def test_collapse_above_threshold(self):
+        n = DEFAULT_DEGREE_THRESHOLD + 1
+        # n parents all feeding child 0, plus child 1 so M > 1
+        g = BipartiteGraph.explicit(n, 2, [[0]] * (n - 1) + [[0, 1]])
+        assert g.max_child_in_degree() == n
+        enc = encode_graph(g)
+        assert enc.collapsed
+        assert enc.effective.is_fully_connected
+        assert enc.encoded_bytes == 4
+        assert enc.pattern.pattern is DependencyPattern.FULLY_CONNECTED
+        # the original pattern is preserved for reporting
+        assert enc.original_pattern.pattern is not DependencyPattern.FULLY_CONNECTED
+
+    def test_collapse_threshold_configurable(self):
+        g = BipartiteGraph.explicit(8, 2, [[0]] * 7 + [[0, 1]])
+        assert encode_graph(g, degree_threshold=4).collapsed
+        assert not encode_graph(g, degree_threshold=16).collapsed
+
+    def test_effective_graph_conservative(self):
+        """A collapsed graph must be a superset of the original edges."""
+        n = DEFAULT_DEGREE_THRESHOLD + 5
+        g = BipartiteGraph.explicit(n, 3, [[0, 1]] * n)
+        enc = encode_graph(g)
+        if enc.collapsed:
+            original_edges = set(g.edges())
+            effective_edges = set(enc.effective.edges())
+            assert original_edges <= effective_edges

@@ -1,0 +1,119 @@
+"""Unit tests for the experiment framework (context, tables, runner)."""
+
+import io
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentContext,
+    STANDARD_MODELS,
+    _make_model,
+    format_table,
+    geomean,
+)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, -1.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": None}]
+        text = format_table(rows, ["a", "b"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.500" in text
+        assert "-" in text  # None placeholder
+
+    def test_empty_rows(self):
+        text = format_table([], ["x"])
+        assert "x" in text
+
+
+class TestModelFactory:
+    @pytest.mark.parametrize("name", [m[0] for m in STANDARD_MODELS])
+    def test_all_roster_models_constructible(self, name, gpu_config):
+        model = _make_model(name, gpu_config)
+        assert model.options().name
+
+    def test_unknown_model(self, gpu_config):
+        with pytest.raises(KeyError):
+            _make_model("nope", gpu_config)
+
+    def test_consumer_window_parsed(self, gpu_config):
+        model = _make_model("consumer3", gpu_config)
+        assert model.options().window == 3
+
+
+class TestExperimentContext:
+    def test_app_cached(self):
+        ctx = ExperimentContext()
+        assert ctx.app("path") is ctx.app("path")
+
+    def test_app_with_overrides_distinct(self):
+        ctx = ExperimentContext()
+        a = ctx.app("path")
+        b = ctx.app("path", iterations=3)
+        assert a is not b
+        assert b.num_kernel_launches == 3
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            ExperimentContext().app("wat")
+
+    def test_plans_cached_per_window(self):
+        ctx = ExperimentContext()
+        app = ctx.app("path")
+        p1 = ctx.plan_for(app, reorder=True, window=2)
+        p2 = ctx.plan_for(app, reorder=True, window=2)
+        p3 = ctx.plan_for(app, reorder=True, window=3)
+        assert p1 is p2
+        assert p1 is not p3
+
+    def test_runs_memoized(self):
+        ctx = ExperimentContext()
+        app = ctx.app("path")
+        first = ctx.run_model(app, "baseline")
+        second = ctx.run_model(app, "baseline")
+        assert first is second
+
+    def test_run_all_returns_roster(self):
+        ctx = ExperimentContext()
+        app = ctx.app("path")
+        results = ctx.run_all(app, model_names=["baseline", "producer"])
+        assert set(results) == {"baseline", "producer"}
+
+    def test_register_external_app(self):
+        from repro.workloads.microbench import build_vecadd_pair
+
+        ctx = ExperimentContext()
+        app = build_vecadd_pair(num_tbs=32, degree=1)
+        assert ctx.register_app(app) is app
+
+
+class TestRunner:
+    def test_selected_experiments(self):
+        from repro.experiments import runner
+
+        stream = io.StringIO()
+        results = runner.run_all(["tab1"], stream=stream)
+        assert "tab1" in results
+        assert "Table I" in stream.getvalue()
+
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit):
+            runner.main(["nope"])

@@ -1,0 +1,39 @@
+"""Unit tests for DOT export of bipartite graphs."""
+
+from repro.core.dependency_graph import BipartiteGraph
+
+
+class TestToDot:
+    def test_explicit_edges_rendered(self):
+        g = BipartiteGraph.explicit(2, 2, [[0], [1]])
+        dot = g.to_dot()
+        assert dot.startswith("digraph")
+        assert '"Kp:0" -> "Kc:0";' in dot
+        assert '"Kp:1" -> "Kc:1";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_custom_labels(self):
+        g = BipartiteGraph.explicit(1, 1, [[0]])
+        dot = g.to_dot(parent_label="fan1", child_label="fan2")
+        assert '"fan1:0" -> "fan2:0";' in dot
+
+    def test_large_fc_graph_truncated(self):
+        g = BipartiteGraph.fully_connected(1000, 1000)
+        dot = g.to_dot(max_nodes=8)
+        assert "fully connected" in dot
+        assert dot.count("->") == 1  # single symbolic edge
+        assert '"Kp:..."' in dot
+
+    def test_small_fc_graph_materialized(self):
+        g = BipartiteGraph.fully_connected(3, 2)
+        dot = g.to_dot(max_nodes=8)
+        assert dot.count("->") == 6
+
+    def test_independent_graph_no_edges(self):
+        g = BipartiteGraph.independent(4, 4)
+        assert "->" not in g.to_dot()
+
+    def test_workload_graph_renders(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False, window=1)
+        dot = plan.kernels[1].graph.to_dot()
+        assert dot.count("->") == plan.kernels[1].graph.num_edges

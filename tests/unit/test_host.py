@@ -1,0 +1,225 @@
+"""Unit tests for the host substrate: buffers, API calls, traces, timing."""
+
+import pytest
+
+from repro.analysis.intervals import Interval
+from repro.host.api import (
+    DeviceSynchronize,
+    KernelLaunchCall,
+    MallocCall,
+    MemcpyD2H,
+    MemcpyH2D,
+    kernel_param_directions,
+)
+from repro.host.buffers import Allocator, GUARD_GAP
+from repro.host.timing import HostTimingModel
+from repro.host.trace import APITrace, TraceError
+from repro.ptx.parser import parse_kernel
+
+from tests.conftest import INDIRECT_SRC, VECADD_SRC
+
+
+class TestAllocator:
+    def test_allocation_basics(self):
+        alloc = Allocator()
+        buf = alloc.allocate(1000, "x")
+        assert buf.size == 1000
+        assert buf.end == buf.base + 1000
+        assert buf.contains(buf.base)
+        assert not buf.contains(buf.end)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Allocator().allocate(0)
+
+    def test_guard_gap_between_buffers(self):
+        alloc = Allocator()
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        assert b.base - a.end >= GUARD_GAP
+
+    def test_buffer_at(self):
+        alloc = Allocator()
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        assert alloc.buffer_at(a.base + 50) == a
+        assert alloc.buffer_at(b.base) == b
+        assert alloc.buffer_at(a.end + 1) is None
+
+    def test_buffers_overlapping(self):
+        alloc = Allocator()
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        hits = alloc.buffers_overlapping(Interval(a.base, b.base + 1))
+        assert hits == [a, b]
+
+    def test_buffer_ids_sequential(self):
+        alloc = Allocator()
+        assert [alloc.allocate(10).buffer_id for _ in range(3)] == [0, 1, 2]
+
+
+class TestParamDirections:
+    def test_vecadd_directions(self, vecadd_kernel):
+        directions = kernel_param_directions(vecadd_kernel)
+        assert directions.exact
+        assert directions.reads == {"A", "B"}
+        assert directions.writes == {"C"}
+
+    def test_indirect_conservative(self, indirect_kernel):
+        directions = kernel_param_directions(indirect_kernel)
+        assert not directions.exact
+        assert directions.reads == directions.writes
+        assert "DATA" in directions.reads
+
+    def test_cached_by_identity(self, vecadd_kernel):
+        assert kernel_param_directions(vecadd_kernel) is kernel_param_directions(
+            vecadd_kernel
+        )
+
+
+class TestAPICalls:
+    def _launch(self, kernel, allocator):
+        a = allocator.allocate(1024, "A")
+        b = allocator.allocate(1024, "B")
+        c = allocator.allocate(1024, "C")
+        return (
+            KernelLaunchCall(
+                kernel=kernel,
+                grid=(2, 1, 1),
+                block=(64, 1, 1),
+                args={"A": a, "B": b, "C": c, "N": 128},
+            ),
+            a,
+            b,
+            c,
+        )
+
+    def test_kernel_buffers_read_write(self, vecadd_kernel):
+        call, a, b, c = self._launch(vecadd_kernel, Allocator())
+        assert set(call.buffers_read()) == {a, b}
+        assert set(call.buffers_written()) == {c}
+
+    def test_kernel_arg_values(self, vecadd_kernel):
+        call, a, b, c = self._launch(vecadd_kernel, Allocator())
+        values = call.arg_values()
+        assert values["A"] == a.base
+        assert values["N"] == 128
+
+    def test_kernel_counts(self, vecadd_kernel):
+        call, *_ = self._launch(vecadd_kernel, Allocator())
+        assert call.num_tbs == 2
+        assert call.threads_per_tb == 64
+
+    def test_blocking_semantics(self, vecadd_kernel):
+        alloc = Allocator()
+        buf = alloc.allocate(64)
+        assert MallocCall(buffer=buf).blocks_host_baseline
+        assert not MallocCall(buffer=buf).blocks_host_blockmaestro
+        assert MemcpyH2D(buffer=buf).blocks_host_baseline
+        assert not MemcpyH2D(buffer=buf).blocks_host_blockmaestro
+        assert MemcpyD2H(buffer=buf).blocks_host_baseline
+        assert MemcpyD2H(buffer=buf).blocks_host_blockmaestro
+        call, *_ = self._launch(vecadd_kernel, alloc)
+        assert not call.blocks_host_baseline
+
+    def test_memcpy_default_size(self):
+        buf = Allocator().allocate(4096)
+        assert MemcpyH2D(buffer=buf).bytes == 4096
+        assert MemcpyH2D(buffer=buf, size=128).bytes == 128
+
+    def test_memcpy_direction_sets(self):
+        buf = Allocator().allocate(64)
+        assert MemcpyH2D(buffer=buf).buffers_written() == (buf,)
+        assert MemcpyD2H(buffer=buf).buffers_read() == (buf,)
+
+
+class TestAPITrace:
+    def test_call_ids_assigned(self):
+        trace = APITrace()
+        alloc = Allocator()
+        buf = alloc.allocate(64)
+        c1 = trace.append(MallocCall(buffer=buf))
+        c2 = trace.append(MemcpyH2D(buffer=buf))
+        assert (c1.call_id, c2.call_id) == (0, 1)
+
+    def test_validate_use_before_alloc(self, vecadd_kernel):
+        trace = APITrace()
+        alloc = Allocator()
+        buf = alloc.allocate(64)
+        trace.append(MemcpyH2D(buffer=buf))  # no malloc recorded
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_validate_missing_kernel_arg(self, vecadd_kernel):
+        trace = APITrace()
+        alloc = Allocator()
+        a = alloc.allocate(64)
+        trace.append(MallocCall(buffer=a))
+        trace.append(
+            KernelLaunchCall(
+                kernel=vecadd_kernel, grid=(1, 1, 1), block=(1, 1, 1), args={"A": a}
+            )
+        )
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    def test_true_dependencies_raw(self, chain_app):
+        deps = chain_app.trace.true_dependencies()
+        calls = chain_app.trace.calls
+        kernel_positions = [i for i, c in enumerate(calls) if c.is_kernel]
+        # the consumer depends on the producer before it (RAW on T)
+        producer, consumer = kernel_positions[0], kernel_positions[1]
+        assert producer in deps[consumer]
+
+    def test_true_dependencies_alloc(self, chain_app):
+        deps = chain_app.trace.true_dependencies()
+        calls = chain_app.trace.calls
+        for i, call in enumerate(calls):
+            if call.is_kernel:
+                # every kernel transitively needs a malloc
+                assert deps[i]
+
+    def test_sync_is_barrier(self, vecadd_kernel):
+        from tests.conftest import make_chain_app
+
+        app = make_chain_app(num_pairs=1, with_sync=True)
+        calls = app.trace.calls
+        deps = app.trace.true_dependencies()
+        sync_pos = next(
+            i for i, c in enumerate(calls) if isinstance(c, DeviceSynchronize)
+        )
+        assert set(deps[sync_pos]) == set(range(sync_pos))
+        for i in range(sync_pos + 1, len(calls)):
+            assert sync_pos in deps[i]
+
+    def test_war_dependency(self, produce_kernel):
+        # K1 reads A; K2 writes A -> WAR edge K1 -> K2
+        from repro.workloads.base import AppBuilder
+        from tests.conftest import PRODUCE_SRC
+
+        b = AppBuilder("war")
+        a = b.alloc("A", 1024)
+        out = b.alloc("OUT", 1024)
+        b.launch(PRODUCE_SRC, grid=1, block=32, args={"IN0": a, "OUT": out})
+        b.launch(
+            PRODUCE_SRC.replace("produce", "writer"),
+            grid=1,
+            block=32,
+            args={"IN0": out, "OUT": a},
+        )
+        app = b.build()
+        deps = app.trace.true_dependencies()
+        k1, k2 = [i for i, c in enumerate(app.trace.calls) if c.is_kernel]
+        assert k1 in deps[k2]
+
+
+class TestTiming:
+    def test_kernel_launch_total(self):
+        timing = HostTimingModel()
+        assert timing.kernel_launch_total_ns == pytest.approx(5000.0)
+
+    def test_memcpy_scales_with_size(self):
+        timing = HostTimingModel()
+        small = timing.memcpy_ns(1024)
+        large = timing.memcpy_ns(1 << 20)
+        assert large > small > timing.memcpy_latency_ns

@@ -1,0 +1,114 @@
+"""Unit tests for Table I pattern classification."""
+
+from repro.core.dependency_graph import BipartiteGraph
+from repro.core.patterns import DependencyPattern, classify_pattern
+
+
+def explicit(n, m, children_of):
+    return BipartiteGraph.explicit(n, m, children_of)
+
+
+class TestBasicPatterns:
+    def test_independent(self):
+        g = BipartiteGraph.independent(4, 4)
+        assert classify_pattern(g).pattern is DependencyPattern.INDEPENDENT
+
+    def test_fully_connected(self):
+        g = BipartiteGraph.fully_connected(4, 4)
+        assert classify_pattern(g).pattern is DependencyPattern.FULLY_CONNECTED
+
+    def test_one_to_one(self):
+        g = explicit(4, 4, [[0], [1], [2], [3]])
+        assert classify_pattern(g).pattern is DependencyPattern.ONE_TO_ONE
+
+    def test_one_to_n(self):
+        g = explicit(2, 6, [[0, 1, 2], [3, 4, 5]])
+        info = classify_pattern(g)
+        assert info.pattern is DependencyPattern.ONE_TO_N
+        assert info.detail["max_children_per_parent"] == 3
+
+    def test_n_to_one(self):
+        g = explicit(6, 2, [[0], [0], [0], [1], [1], [1]])
+        info = classify_pattern(g)
+        assert info.pattern is DependencyPattern.N_TO_ONE
+        assert info.detail["max_parents_per_child"] == 3
+
+    def test_n_group(self):
+        g = explicit(4, 4, [[0, 1], [0, 1], [2, 3], [2, 3]])
+        info = classify_pattern(g)
+        assert info.pattern is DependencyPattern.N_GROUP
+        assert info.detail["num_groups"] == 2
+
+    def test_overlapped(self):
+        g = explicit(4, 4, [[0], [0, 1], [1, 2], [2, 3]])
+        assert classify_pattern(g).pattern is DependencyPattern.OVERLAPPED
+
+    def test_arbitrary(self):
+        g = explicit(4, 4, [[0, 2], [1], [0, 3], [1, 2]])
+        assert classify_pattern(g).pattern is DependencyPattern.ARBITRARY
+
+
+class TestDegenerateCompleteGraphs:
+    """Complete bipartite graphs with one side of size 1 take the more
+    specific Table I label (the GAUSSIAN Fan1/Fan2 shapes)."""
+
+    def test_single_parent_fanout_is_one_to_n(self):
+        g = explicit(1, 8, [list(range(8))])
+        assert g.is_fully_connected  # canonical kind
+        assert classify_pattern(g).pattern is DependencyPattern.ONE_TO_N
+
+    def test_single_child_fanin_is_n_to_one(self):
+        g = explicit(8, 1, [[0]] * 8)
+        assert g.is_fully_connected
+        assert classify_pattern(g).pattern is DependencyPattern.N_TO_ONE
+
+    def test_one_by_one_is_one_to_one(self):
+        g = explicit(1, 1, [[0]])
+        assert classify_pattern(g).pattern is DependencyPattern.ONE_TO_ONE
+
+
+class TestDisambiguation:
+    def test_one_to_one_beats_n_group(self):
+        # 1-to-1 is a degenerate n-group; the specific label wins
+        g = explicit(3, 3, [[0], [1], [2]])
+        assert classify_pattern(g).pattern is DependencyPattern.ONE_TO_ONE
+
+    def test_partial_one_to_n_with_childless_parent(self):
+        g = explicit(3, 4, [[0, 1], [], [2, 3]])
+        assert classify_pattern(g).pattern is DependencyPattern.ONE_TO_N
+
+    def test_partial_n_to_one_with_orphan_child(self):
+        g = explicit(3, 3, [[0], [0], [1]])
+        assert classify_pattern(g).pattern is DependencyPattern.N_TO_ONE
+
+    def test_n_group_requires_exact_parent_sets(self):
+        # child 1 has an extra parent: not a clean grouping
+        g = explicit(4, 4, [[0, 1], [0, 1, 2], [2, 3], [2, 3]])
+        assert classify_pattern(g).pattern in (
+            DependencyPattern.OVERLAPPED,
+            DependencyPattern.ARBITRARY,
+        )
+
+    def test_overlapped_requires_contiguous_windows(self):
+        # child 2's parents are {0, 2}: a gap in the window
+        g = explicit(3, 3, [[0, 2], [0, 1], [1, 2]])
+        assert classify_pattern(g).pattern is DependencyPattern.ARBITRARY
+
+    def test_overlapped_requires_monotone_windows(self):
+        g = explicit(3, 3, [[1, 2], [0, 1], [2]])
+        assert classify_pattern(g).pattern is DependencyPattern.ARBITRARY
+
+    def test_overlapped_requires_sharing(self):
+        # contiguous but disjoint windows: that's 1-to-n territory
+        g = explicit(4, 2, [[0], [0], [1], [1]])
+        assert classify_pattern(g).pattern is DependencyPattern.N_TO_ONE
+
+    def test_table1_numbers(self):
+        assert DependencyPattern.FULLY_CONNECTED.table1_number == 1
+        assert DependencyPattern.N_GROUP.table1_number == 2
+        assert DependencyPattern.ONE_TO_ONE.table1_number == 3
+        assert DependencyPattern.ONE_TO_N.table1_number == 4
+        assert DependencyPattern.N_TO_ONE.table1_number == 5
+        assert DependencyPattern.OVERLAPPED.table1_number == 6
+        assert DependencyPattern.INDEPENDENT.table1_number == 7
+        assert DependencyPattern.ARBITRARY.table1_number == 0

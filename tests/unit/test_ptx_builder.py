@@ -1,0 +1,102 @@
+"""Unit tests for the programmatic kernel builder."""
+
+import pytest
+
+from repro.ptx.builder import KernelBuilder
+from repro.ptx.errors import PTXValidationError
+from repro.ptx.isa import Opcode
+from repro.ptx.parser import parse_kernel
+
+
+class TestKernelBuilder:
+    def test_simple_copy_kernel(self):
+        b = KernelBuilder("copy")
+        src = b.pointer_param("SRC")
+        dst = b.pointer_param("DST")
+        i = b.global_thread_index()
+        v = b.load_global_f32(src, index=i)
+        b.store_global_f32(dst, v, index=i)
+        kernel = b.build()
+        assert kernel.name == "copy"
+        assert kernel.param_names == ["SRC", "DST"]
+        mix = kernel.instruction_mix()
+        assert mix["mem_global"] == 2
+        assert mix["mem_param"] == 2
+
+    def test_build_appends_ret(self):
+        b = KernelBuilder("empty")
+        b.pointer_param("A")
+        kernel = b.build()
+        assert kernel.instructions[-1].is_terminator
+
+    def test_build_keeps_explicit_ret(self):
+        b = KernelBuilder("k")
+        b.pointer_param("A")
+        b.ret()
+        kernel = b.build()
+        terminators = [i for i in kernel.instructions if i.is_terminator]
+        assert len(terminators) == 1
+
+    def test_output_parses(self):
+        b = KernelBuilder("scale")
+        a = b.pointer_param("A")
+        out = b.pointer_param("B")
+        i = b.global_thread_index()
+        v = b.load_global_f32(a, index=i)
+        v2 = b.fmul(v, v)
+        b.store_global_f32(out, v2, index=i)
+        kernel = b.build()
+        reparsed = parse_kernel(kernel.to_text())
+        assert [str(x) for x in reparsed.instructions] == [
+            str(x) for x in kernel.instructions
+        ]
+
+    def test_scalar_param(self):
+        b = KernelBuilder("k")
+        n = b.scalar_param("N")
+        i = b.global_thread_index()
+        p = b.setp("lt", i, n)
+        b.branch("END", guard=p)
+        b.label("END")
+        kernel = b.build()
+        assert "END" in kernel.labels
+
+    def test_duplicate_label_rejected(self):
+        b = KernelBuilder("k")
+        b.label("L")
+        with pytest.raises(PTXValidationError):
+            b.label("L")
+
+    def test_fresh_registers_unique(self):
+        b = KernelBuilder("k")
+        regs = {b.fresh() for _ in range(100)}
+        assert len(regs) == 100
+
+    def test_arithmetic_helpers_accept_ints(self):
+        b = KernelBuilder("k")
+        i = b.global_thread_index()
+        j = b.iadd(i, 4)
+        k = b.imul(j, 2)
+        m = b.imad(k, 3, 1)
+        kernel = b.build()
+        opcodes = [inst.opcode for inst in kernel.instructions]
+        assert Opcode.ADD in opcodes
+        assert Opcode.MUL_LO in opcodes
+        assert Opcode.MAD_LO in opcodes
+
+    def test_barrier_emitted(self):
+        b = KernelBuilder("k")
+        b.barrier()
+        kernel = b.build()
+        assert kernel.instruction_mix()["barrier"] == 1
+
+    def test_byte_address_structure(self):
+        b = KernelBuilder("k")
+        a = b.pointer_param("A")
+        i = b.global_thread_index()
+        b.byte_address(a, i, 8)
+        kernel = b.build()
+        widening = [
+            inst for inst in kernel.instructions if inst.opcode is Opcode.MUL_WIDE
+        ]
+        assert len(widening) == 1

@@ -1,0 +1,209 @@
+"""Unit tests for the mini-PTX instruction set definitions."""
+
+import pytest
+
+from repro.ptx.isa import (
+    COMPARISONS,
+    GLOBAL_MEMORY_OPCODES,
+    Immediate,
+    Instruction,
+    Label,
+    MemOperand,
+    Opcode,
+    ParamRef,
+    REGISTER_WRITING_OPCODES,
+    Register,
+    SpecialRegister,
+    type_width,
+)
+
+
+class TestOperands:
+    def test_register_str(self):
+        assert str(Register("rd4")) == "%rd4"
+
+    def test_special_register_str(self):
+        assert str(SpecialRegister("tid", "x")) == "%tid.x"
+
+    def test_special_register_no_dim(self):
+        assert str(SpecialRegister("laneid")) == "%laneid"
+
+    def test_special_register_rejects_unknown_family(self):
+        with pytest.raises(ValueError):
+            SpecialRegister("blockid", "x")
+
+    def test_special_register_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            SpecialRegister("tid", "w")
+
+    def test_laneid_rejects_dim(self):
+        with pytest.raises(ValueError):
+            SpecialRegister("laneid", "x")
+
+    def test_immediate_int_str(self):
+        assert str(Immediate(-3)) == "-3"
+
+    def test_immediate_float_str(self):
+        assert str(Immediate(1.5)) == "1.5"
+
+    def test_mem_operand_str_zero_offset(self):
+        assert str(MemOperand(Register("rd1"))) == "[%rd1]"
+
+    def test_mem_operand_str_positive_offset(self):
+        assert str(MemOperand(Register("rd1"), 8)) == "[%rd1+8]"
+
+    def test_mem_operand_str_negative_offset(self):
+        assert str(MemOperand(Register("rd1"), -4)) == "[%rd1-4]"
+
+    def test_mem_operand_param_base(self):
+        assert str(MemOperand(ParamRef("A"))) == "[A]"
+
+    def test_operands_hashable(self):
+        assert len({Register("r1"), Register("r1"), Register("r2")}) == 2
+
+
+class TestTypeWidths:
+    @pytest.mark.parametrize(
+        "dtype,width",
+        [("u8", 1), ("u16", 2), ("u32", 4), ("f32", 4), ("u64", 8), ("f64", 8)],
+    )
+    def test_known_widths(self, dtype, width):
+        assert type_width(dtype) == width
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            type_width("u128")
+
+
+class TestOpcodeSets:
+    def test_stores_do_not_write_registers(self):
+        assert Opcode.ST_GLOBAL not in REGISTER_WRITING_OPCODES
+        assert Opcode.ST_SHARED not in REGISTER_WRITING_OPCODES
+
+    def test_branches_do_not_write_registers(self):
+        assert Opcode.BRA not in REGISTER_WRITING_OPCODES
+
+    def test_loads_write_registers(self):
+        assert Opcode.LD_GLOBAL in REGISTER_WRITING_OPCODES
+        assert Opcode.LD_PARAM in REGISTER_WRITING_OPCODES
+
+    def test_global_memory_opcodes(self):
+        assert Opcode.LD_GLOBAL in GLOBAL_MEMORY_OPCODES
+        assert Opcode.ST_GLOBAL in GLOBAL_MEMORY_OPCODES
+        assert Opcode.ATOM_ADD in GLOBAL_MEMORY_OPCODES
+        assert Opcode.LD_SHARED not in GLOBAL_MEMORY_OPCODES
+
+    def test_comparison_set(self):
+        assert {"eq", "ne", "lt", "le", "gt", "ge"} <= COMPARISONS
+
+
+class TestInstruction:
+    def _load(self):
+        return Instruction(
+            opcode=Opcode.LD_GLOBAL,
+            dtype="f32",
+            dsts=(Register("f1"),),
+            srcs=(MemOperand(Register("rd1"), 4),),
+        )
+
+    def _store(self):
+        return Instruction(
+            opcode=Opcode.ST_GLOBAL,
+            dtype="f32",
+            dsts=(MemOperand(Register("rd2")),),
+            srcs=(Register("f1"),),
+        )
+
+    def test_load_flags(self):
+        inst = self._load()
+        assert inst.is_global_load
+        assert not inst.is_global_store
+        assert inst.is_global_access
+
+    def test_store_flags(self):
+        inst = self._store()
+        assert inst.is_global_store
+        assert not inst.is_global_load
+        assert inst.is_global_access
+
+    def test_atom_counts_as_store(self):
+        inst = Instruction(
+            opcode=Opcode.ATOM_ADD,
+            dtype="u32",
+            dsts=(MemOperand(Register("rd1")),),
+            srcs=(Register("r1"),),
+        )
+        assert inst.is_global_store
+
+    def test_load_written_registers(self):
+        assert self._load().written_registers() == (Register("f1"),)
+
+    def test_store_written_registers_empty(self):
+        assert self._store().written_registers() == ()
+
+    def test_load_reads_address_base(self):
+        assert Register("rd1") in self._load().read_registers()
+
+    def test_store_reads_address_base_and_value(self):
+        regs = self._store().read_registers()
+        assert Register("rd2") in regs
+        assert Register("f1") in regs
+
+    def test_guard_is_read(self):
+        inst = Instruction(
+            opcode=Opcode.BRA,
+            srcs=(Label("L"),),
+            guard=Register("p1"),
+        )
+        assert Register("p1") in inst.read_registers()
+
+    def test_address_operand_load(self):
+        addr = self._load().address_operand()
+        assert addr.base == Register("rd1")
+        assert addr.offset == 4
+
+    def test_address_operand_store(self):
+        addr = self._store().address_operand()
+        assert addr.base == Register("rd2")
+
+    def test_address_operand_alu_none(self):
+        inst = Instruction(
+            opcode=Opcode.ADD,
+            dtype="u32",
+            dsts=(Register("r1"),),
+            srcs=(Register("r2"), Immediate(1)),
+        )
+        assert inst.address_operand() is None
+
+    def test_access_width(self):
+        assert self._load().access_width == 4
+
+    def test_str_roundtrippable_shape(self):
+        text = str(self._load())
+        assert text == "ld.global.f32 %f1, [%rd1+4];"
+
+    def test_guarded_str(self):
+        inst = Instruction(
+            opcode=Opcode.BRA,
+            srcs=(Label("DONE"),),
+            guard=Register("p1"),
+            guard_negated=True,
+        )
+        assert str(inst) == "@!%p1 bra DONE;"
+
+    def test_setp_str_includes_compare(self):
+        inst = Instruction(
+            opcode=Opcode.SETP,
+            dtype="u32",
+            compare="lt",
+            dsts=(Register("p1"),),
+            srcs=(Register("r1"), Register("r2")),
+        )
+        assert str(inst) == "setp.lt.u32 %p1, %r1, %r2;"
+
+    def test_terminator_flags(self):
+        assert Instruction(opcode=Opcode.RET).is_terminator
+        assert Instruction(opcode=Opcode.EXIT).is_terminator
+
+    def test_barrier_flag(self):
+        assert Instruction(opcode=Opcode.BAR_SYNC, srcs=(Immediate(0),)).is_barrier

@@ -1,0 +1,228 @@
+"""Unit tests for the mini-PTX text parser."""
+
+import pytest
+
+from repro.ptx.errors import PTXParseError, PTXValidationError
+from repro.ptx.isa import (
+    Immediate,
+    Label,
+    MemOperand,
+    Opcode,
+    ParamRef,
+    Register,
+    SpecialRegister,
+)
+from repro.ptx.parser import parse_instruction, parse_kernel, parse_module
+
+from tests.conftest import VECADD_SRC, ROWSUM_SRC
+
+
+class TestParseInstruction:
+    def test_mov_special_register(self):
+        inst = parse_instruction("mov.u32 %r1, %ctaid.x")
+        assert inst.opcode is Opcode.MOV
+        assert inst.dtype == "u32"
+        assert inst.dsts == (Register("r1"),)
+        assert inst.srcs == (SpecialRegister("ctaid", "x"),)
+
+    def test_mad_three_sources(self):
+        inst = parse_instruction("mad.lo.u32 %r2, %r1, %ntid.x, %tid.x")
+        assert inst.opcode is Opcode.MAD_LO
+        assert len(inst.srcs) == 3
+
+    def test_ld_param(self):
+        inst = parse_instruction("ld.param.u64 %rdA, [A]")
+        assert inst.opcode is Opcode.LD_PARAM
+        addr = inst.address_operand()
+        assert isinstance(addr.base, ParamRef)
+        assert addr.base.name == "A"
+
+    def test_ld_global_with_offset(self):
+        inst = parse_instruction("ld.global.f32 %f1, [%rd2+16]")
+        assert inst.opcode is Opcode.LD_GLOBAL
+        assert inst.address_operand().offset == 16
+
+    def test_ld_global_negative_offset(self):
+        inst = parse_instruction("ld.global.f32 %f1, [%rd2-8]")
+        assert inst.address_operand().offset == -8
+
+    def test_st_global_operand_roles(self):
+        inst = parse_instruction("st.global.f32 [%rd4], %f3")
+        assert isinstance(inst.dsts[0], MemOperand)
+        assert inst.srcs == (Register("f3"),)
+
+    def test_setp_compare(self):
+        inst = parse_instruction("setp.ge.u32 %p1, %r2, %rN")
+        assert inst.opcode is Opcode.SETP
+        assert inst.compare == "ge"
+
+    def test_setp_without_compare_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_instruction("setp.u32 %p1, %r2, %r3")
+
+    def test_guarded_branch(self):
+        inst = parse_instruction("@%p1 bra DONE")
+        assert inst.guard == Register("p1")
+        assert not inst.guard_negated
+        assert inst.srcs == (Label("DONE"),)
+
+    def test_negated_guard(self):
+        inst = parse_instruction("@!%p2 bra LOOP")
+        assert inst.guard_negated
+
+    def test_bra_requires_label(self):
+        with pytest.raises(PTXParseError):
+            parse_instruction("bra %r1")
+
+    def test_immediate_hex(self):
+        inst = parse_instruction("mov.u32 %r1, 0x10")
+        assert inst.srcs == (Immediate(16),)
+
+    def test_immediate_float(self):
+        inst = parse_instruction("mov.f32 %f1, 0.5")
+        assert inst.srcs == (Immediate(0.5),)
+
+    def test_immediate_negative(self):
+        inst = parse_instruction("add.u32 %r1, %r2, -4")
+        assert Immediate(-4) in inst.srcs
+
+    def test_mul_wide(self):
+        inst = parse_instruction("mul.wide.u32 %rd1, %r2, 4")
+        assert inst.opcode is Opcode.MUL_WIDE
+
+    def test_cvt_two_types(self):
+        inst = parse_instruction("cvt.u64.u32 %rd1, %r1")
+        assert inst.opcode is Opcode.CVT
+        assert inst.dtype == "u64"
+        assert inst.src_dtype == "u32"
+
+    def test_rounding_modifier_ignored(self):
+        inst = parse_instruction("div.rn.f32 %f1, %f2, %f3")
+        assert inst.opcode is Opcode.DIV
+        assert inst.dtype == "f32"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_instruction("frobnicate.u32 %r1, %r2")
+
+    def test_unknown_modifier_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_instruction("add.zz.u32 %r1, %r2, %r3")
+
+    def test_bar_sync(self):
+        inst = parse_instruction("bar.sync 0")
+        assert inst.opcode is Opcode.BAR_SYNC
+
+    def test_ret_takes_no_operands(self):
+        with pytest.raises(PTXParseError):
+            parse_instruction("ret %r1")
+
+    def test_atom_add_two_operand_form(self):
+        inst = parse_instruction("atom.global.add.u32 [%rd1], %r2")
+        assert inst.opcode is Opcode.ATOM_ADD
+        assert inst.is_global_store
+
+
+class TestParseModule:
+    def test_vecadd_parses(self, vecadd_kernel):
+        assert vecadd_kernel.name == "vecadd"
+        assert vecadd_kernel.param_names == ["A", "B", "C", "N"]
+
+    def test_pointer_params_marked(self, vecadd_kernel):
+        names = [p.name for p in vecadd_kernel.pointer_params]
+        assert names == ["A", "B", "C"]
+
+    def test_scalar_param_not_pointer(self, vecadd_kernel):
+        assert not vecadd_kernel.param("N").is_pointer
+
+    def test_labels_recorded(self, vecadd_kernel):
+        assert "DONE" in vecadd_kernel.labels
+
+    def test_label_points_to_following_instruction(self, rowsum_kernel):
+        loop_index = rowsum_kernel.labels["LOOP"]
+        inst = rowsum_kernel.instructions[loop_index]
+        assert inst.opcode is Opcode.ADD
+
+    def test_comments_ignored(self):
+        kernel = parse_kernel(
+            """
+            // leading comment
+            .visible .entry k (.param .u64 A) // trailing
+            {
+                ld.param.u64 %rd1, [A]; // load pointer
+                ret;
+            }
+            """
+        )
+        assert len(kernel) == 2
+
+    def test_reg_declarations_ignored(self):
+        kernel = parse_kernel(
+            """
+            .visible .entry k (.param .u64 A)
+            {
+                .reg .u32 %r<10>;
+                ld.param.u64 %rd1, [A];
+                ret;
+            }
+            """
+        )
+        assert len(kernel) == 2
+
+    def test_multiple_kernels(self):
+        module = parse_module(VECADD_SRC + "\n" + ROWSUM_SRC)
+        assert module.kernel_names == ["vecadd", "rowsum"]
+
+    def test_kernel_lookup_by_name(self):
+        module = parse_module(VECADD_SRC)
+        assert module.kernel("vecadd").name == "vecadd"
+        with pytest.raises(KeyError):
+            module.kernel("nope")
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_module("// nothing here")
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_module(".visible .entry k (.param .u64 A)\n{\n ret;")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_module(
+                ".visible .entry k (.param .u64 A)\n{\n ld.param.u64 %rd1, [A]\n}"
+            )
+
+    def test_branch_to_unknown_label_rejected(self):
+        with pytest.raises(PTXValidationError):
+            parse_module(
+                ".visible .entry k (.param .u64 A)\n{\n bra NOWHERE;\n}"
+            )
+
+    def test_ld_param_unknown_param_rejected(self):
+        with pytest.raises(KeyError):
+            parse_module(
+                ".visible .entry k (.param .u64 A)\n{\n ld.param.u64 %rd1, [B];\n ret;\n}"
+            )
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_module(
+                ".visible .entry k (.param .u64 A)\n{\nL1:\n ret;\nL1:\n ret;\n}"
+            )
+
+    def test_bad_parameter_type_rejected(self):
+        with pytest.raises(PTXParseError):
+            parse_module(".visible .entry k (.param .u128 A)\n{\n ret;\n}")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("source", [VECADD_SRC, ROWSUM_SRC])
+    def test_to_text_reparses_identically(self, source):
+        kernel = parse_kernel(source)
+        again = parse_kernel(kernel.to_text())
+        assert [str(i) for i in again.instructions] == [
+            str(i) for i in kernel.instructions
+        ]
+        assert again.labels == kernel.labels
+        assert again.params == kernel.params

@@ -1,0 +1,274 @@
+"""Unit tests for the parametric kernel generators."""
+
+import pytest
+
+from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+from repro.analysis.intervals import Interval, IntervalSet
+from repro.ptx.parser import parse_kernel
+from repro.workloads import ptxgen
+
+
+def analyze(src, grid, block, args):
+    kernel = parse_kernel(src)
+    summary = analyze_kernel(kernel, LaunchConfig.create(grid, block, args))
+    assert summary.fallback is None, summary.fallback_detail
+    return summary
+
+
+class TestElementwise:
+    def test_identity_map(self):
+        s = analyze(
+            ptxgen.elementwise("k", num_inputs=1),
+            4,
+            64,
+            {"IN0": 0, "OUT": 1 << 20},
+        )
+        assert s.tb_reads(2) == IntervalSet([Interval(512, 768)])
+        assert s.tb_writes(2) == IntervalSet([(Interval((1 << 20) + 512, (1 << 20) + 768))])
+
+    def test_shifted_reads(self):
+        s = analyze(
+            ptxgen.elementwise("k", num_inputs=2, shifts=[0, -1]),
+            2,
+            64,
+            {"IN0": 0, "IN1": 0, "OUT": 1 << 20},
+        )
+        # block 1 reads elements 63..127 (the -1 shift reaches back)
+        assert s.tb_reads(1) == IntervalSet([Interval(63 * 4, 128 * 4)])
+
+    def test_scale_two(self):
+        s = analyze(
+            ptxgen.elementwise("k", num_inputs=1, scale=2),
+            2,
+            64,
+            {"IN0": 0, "OUT": 1 << 20},
+        )
+        # strided by 2 elements: footprint spans 2x, written sparsely
+        reads = s.tb_reads(0)
+        assert reads.bounds().lo == 0
+        assert reads.bounds().hi == (2 * 63) * 4 + 4
+
+    def test_guard_adds_param(self):
+        kernel = parse_kernel(ptxgen.elementwise("k", guard=True))
+        assert "N" in kernel.param_names
+
+    def test_shift_count_validated(self):
+        with pytest.raises(ValueError):
+            ptxgen.elementwise("k", num_inputs=2, shifts=[0])
+
+
+class TestStencils:
+    def test_stencil1d_halo(self):
+        s = analyze(
+            ptxgen.stencil1d("k", radius=2),
+            4,
+            64,
+            {"IN": 1 << 12, "OUT": 1 << 20},
+        )
+        reads = s.tb_reads(1)
+        base = (1 << 12) + 64 * 4
+        assert reads == IntervalSet([Interval(base - 8, base + 256 + 8)])
+
+    def test_stencil2d_row_halo(self):
+        s = analyze(
+            ptxgen.stencil2d("k", width=64),
+            4,
+            64,
+            {"IN": 0, "POWER": 1 << 18, "OUT": 1 << 20},
+        )
+        reads = s.tb_reads(1)
+        # block 1 covers elements 64..127 plus rows above/below
+        assert reads.overlaps_interval(Interval(0, 4))  # row above
+        assert reads.overlaps_interval(Interval(128 * 4, 129 * 4))  # row below
+
+    def test_stencil_extra_input(self):
+        s = analyze(
+            ptxgen.stencil1d("k", radius=1, extra_input="WALL"),
+            2,
+            32,
+            {"IN": 0, "WALL": 1 << 16, "OUT": 1 << 20},
+        )
+        assert s.tb_reads(0).overlaps_interval(Interval(1 << 16, (1 << 16) + 4))
+
+
+class TestLoopGenerators:
+    def test_matvec_row_blocks(self):
+        s = analyze(
+            ptxgen.matvec("k"),
+            2,
+            32,
+            {"A": 0, "X": 1 << 20, "Y": 1 << 21, "K": 8},
+        )
+        # TB 0: rows 0..31, each 8 elements
+        assert s.tb_reads(0).overlaps_interval(Interval(0, 32 * 8 * 4))
+        # reads the whole x vector
+        assert s.tb_reads(0).overlaps_interval(Interval(1 << 20, (1 << 20) + 32))
+
+    def test_matvec_transposed_columns(self):
+        s = analyze(
+            ptxgen.matvec_transposed("k"),
+            2,
+            32,
+            {"A": 0, "X": 1 << 20, "Y": 1 << 21, "K": 4, "N": 64},
+        )
+        # thread i reads A[k*64 + i]: strided columns
+        reads = s.tb_reads(0)
+        assert reads.overlaps_interval(Interval(0, 32 * 4))
+        assert reads.overlaps_interval(Interval(64 * 4, 64 * 4 + 32 * 4))
+
+    def test_full_read_map_spans_input(self):
+        s = analyze(
+            ptxgen.full_read_map("k"),
+            4,
+            64,
+            {"IN": 0, "OUT": 1 << 20, "SPAN": 1024, "INOFF": 0, "OUTOFF": 0},
+        )
+        for tb in range(4):
+            assert s.tb_reads(tb) == IntervalSet([Interval(0, 1024 * 4)])
+
+    def test_full_read_map_offsets(self):
+        s = analyze(
+            ptxgen.full_read_map("k"),
+            1,
+            64,
+            {"IN": 0, "OUT": 1 << 20, "SPAN": 256, "INOFF": 512, "OUTOFF": 128},
+        )
+        assert s.tb_reads(0) == IntervalSet([Interval(512 * 4, (512 + 256) * 4)])
+        assert s.tb_writes(0) == IntervalSet(
+            [Interval((1 << 20) + 128 * 4, (1 << 20) + 192 * 4)]
+        )
+
+    def test_reduce_columns_strided(self):
+        s = analyze(
+            ptxgen.reduce_columns("k"),
+            1,
+            1,
+            {"IN": 0, "OUT": 1 << 20, "STRIDE": 16, "COUNT": 4, "OFF": 2, "OUTOFF": 7},
+        )
+        reads = s.tb_reads(0)
+        assert reads == IntervalSet(
+            [Interval((2 + 16 * k) * 4, (2 + 16 * k) * 4 + 4) for k in range(4)]
+        )
+        assert s.tb_writes(0) == IntervalSet(
+            [Interval((1 << 20) + 28, (1 << 20) + 32)]
+        )
+
+    def test_group_read_whole_group(self):
+        s = analyze(
+            ptxgen.group_read("k", group_span_elems=512),
+            (2, 2),
+            256,
+            {"IN": 0, "OUT": 1 << 20},
+        )
+        # TB (0, 1) reads group 1: elements 512..1023
+        tb = 0 + 2 * 1
+        assert s.tb_reads(tb) == IntervalSet([Interval(512 * 4, 1024 * 4)])
+
+    def test_group_sample_footprint(self):
+        s = analyze(
+            ptxgen.group_sample("k", group_span_elems=1024, stride_elems=4),
+            (4, 2),
+            256,
+            {"IN": 0, "OUT": 1 << 20},
+        )
+        tb = 1 + 4 * 1  # group 1
+        bounds = s.tb_reads(tb).bounds()
+        assert bounds.lo == 1024 * 4
+        assert bounds.hi <= 2048 * 4
+
+    def test_matmul_colblock_reads_group_and_full(self):
+        s = analyze(
+            ptxgen.matmul_colblock("k", group_span_elems=512),
+            (2, 2),
+            256,
+            {"INGROUP": 0, "INFULL": 1 << 20, "OUT": 1 << 21, "SPAN": 1024},
+        )
+        tb = 1 + 2 * 1
+        assert s.tb_reads(tb).overlaps_interval(Interval(512 * 4, 513 * 4))
+        assert s.tb_reads(tb).overlaps_interval(Interval(1 << 20, (1 << 20) + 4096))
+
+
+class TestSpecialKernels:
+    def test_fft_stage_two_halves(self):
+        s = analyze(
+            ptxgen.fft_stage("k"),
+            2,
+            64,
+            {"IN": 0, "OUT": 1 << 20, "HALF": 128},
+        )
+        assert s.tb_reads(0) == IntervalSet(
+            [Interval(0, 256), Interval(128 * 4, 128 * 4 + 256)]
+        )
+        assert s.tb_writes(0) == IntervalSet(
+            [Interval(1 << 20, (1 << 20) + 256),
+             Interval((1 << 20) + 512, (1 << 20) + 768)]
+        )
+
+    def test_wavefront_two_parents(self):
+        s = analyze(
+            ptxgen.wavefront_block("k", parents=2),
+            4,
+            64,
+            {"PREV": 1 << 16, "CUR": 1 << 20, "SHIFT": 0},
+        )
+        reads = s.tb_reads(2)
+        base = 1 << 16
+        assert reads.overlaps_interval(Interval(base + 2 * 256, base + 2 * 256 + 4))
+        assert reads.overlaps_interval(Interval(base + 1 * 256, base + 1 * 256 + 4))
+        assert not reads.overlaps_interval(Interval(base, base + 256))
+
+    def test_wavefront_shift(self):
+        s = analyze(
+            ptxgen.wavefront_block("k", parents=2),
+            2,
+            64,
+            {"PREV": 0, "CUR": 1 << 20, "SHIFT": 1},
+        )
+        # with SHIFT=1, block 0 reads elements [1 .. 64] and [-63..0]
+        assert s.tb_reads(0).overlaps_interval(Interval(4, 8))
+
+    def test_gaussian_fan1_reads_column(self):
+        s = analyze(
+            ptxgen.gaussian_fan1("k"),
+            1,
+            8,
+            {"A": 0, "M": 1 << 20, "N": 64, "T": 2},
+        )
+        # reads A[(i+2)*64 + 2] for i in 0..7 plus the pivot element
+        reads = s.tb_reads(0)
+        assert reads.overlaps_interval(Interval((2 * 64 + 2) * 4, (2 * 64 + 2) * 4 + 4))
+        assert s.tb_writes(0).bounds().lo == (1 << 20) + 2 * 4
+
+    def test_gaussian_fan2_row_per_block_y(self):
+        s = analyze(
+            ptxgen.gaussian_fan2("k"),
+            (1, 4),
+            64,
+            {"A": 0, "M": 1 << 20, "N": 256, "T": 1},
+        )
+        w0 = s.tb_writes(0)
+        w1 = s.tb_writes(1)
+        assert not w0.overlaps(w1)  # disjoint rows
+
+    def test_all_generators_parse(self):
+        sources = [
+            ptxgen.elementwise("a"),
+            ptxgen.stencil1d("b"),
+            ptxgen.stencil2d("c", width=128),
+            ptxgen.matvec("d"),
+            ptxgen.matvec_transposed("e"),
+            ptxgen.group_read("f", 256),
+            ptxgen.group_sample("g", 256, 1),
+            ptxgen.reduce_columns("h"),
+            ptxgen.broadcast_scale("i"),
+            ptxgen.fft_stage("j"),
+            ptxgen.wavefront_block("k", parents=3),
+            ptxgen.gaussian_fan1("l"),
+            ptxgen.gaussian_fan2("m"),
+            ptxgen.full_read_map("n"),
+            ptxgen.matmul_colblock("o", 128),
+            ptxgen.indirect_gather("p"),
+        ]
+        for src in sources:
+            kernel = parse_kernel(src)
+            assert len(kernel) > 0

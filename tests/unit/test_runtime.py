@@ -1,0 +1,157 @@
+"""Unit tests for the BlockMaestro launch-time pipeline (RuntimePlan)."""
+
+import pytest
+
+from repro.core.dependency_graph import GraphKind
+from repro.core.runtime import BlockMaestroRuntime, jitter_factor
+from repro.sim.config import GPUConfig
+
+from tests.conftest import PRODUCE_SRC, make_chain_app
+from repro.workloads.base import AppBuilder
+
+
+class TestPlanStructure:
+    def test_kernels_in_queue_order(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False)
+        assert [k.kernel_index for k in plan.kernels] == list(
+            range(plan.num_kernels)
+        )
+        positions = [k.order_position for k in plan.kernels]
+        assert positions == sorted(positions)
+
+    def test_kernel_at_position_mapping(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False)
+        for kp in plan.kernels:
+            assert plan.kernel_at_position[kp.order_position] == kp.kernel_index
+
+    def test_first_kernel_has_no_graph(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False)
+        assert plan.kernels[0].graph is None
+        assert plan.kernels[0].encoded is None
+
+    def test_chain_graphs_one_to_one(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False)
+        for kp in plan.kernels[1:]:
+            assert kp.graph.kind is GraphKind.EXPLICIT
+            assert kp.graph.num_edges == kp.num_tbs
+
+    def test_deps_match_order(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=True)
+        assert len(plan.deps) == len(plan.order)
+
+    def test_storage_totals_accumulate(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False)
+        assert plan.graph_plain_bytes == sum(
+            kp.encoded.plain_bytes for kp in plan.kernels if kp.encoded
+        )
+        assert plan.graph_encoded_bytes <= plan.graph_plain_bytes
+
+    def test_requests_totals(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False)
+        assert plan.total_kernel_requests() > 0
+        assert plan.total_dependency_requests() > 0
+
+
+class TestDurations:
+    def test_base_duration_positive(self, runtime, chain_app):
+        plan = runtime.plan(chain_app, reorder=False)
+        for kp in plan.kernels:
+            for tb in range(min(kp.num_tbs, 4)):
+                assert kp.tb_duration_ns(tb) > 0
+
+    def test_intensity_scales_duration(self, runtime):
+        fast = runtime.plan(make_chain_app(intensity=1.0, name="f"), reorder=False)
+        slow = runtime.plan(make_chain_app(intensity=5.0, name="s"), reorder=False)
+        assert (
+            slow.kernels[0].tb_duration_ns(0)
+            == pytest.approx(5.0 * fast.kernels[0].tb_duration_ns(0))
+        )
+
+    def test_duration_override_fn(self, runtime):
+        app = make_chain_app(num_pairs=1, name="ov")
+        app.trace.kernel_calls[0].tb_duration_fn = lambda tb: 1234.5
+        plan = runtime.plan(app, reorder=False)
+        assert plan.kernels[0].tb_duration_ns(7) == 1234.5
+
+    def test_duration_scale_fn(self, runtime):
+        app = make_chain_app(num_pairs=1, name="sc")
+        app.trace.kernel_calls[0].tb_duration_scale_fn = lambda tb: 2.0
+        app.trace.kernel_calls[1].tb_duration_scale_fn = None
+        plan = runtime.plan(app, reorder=False)
+        k0, k1 = plan.kernels
+        # same kernel body; scaled one is ~2x (modulo per-TB jitter)
+        ratio = k0.tb_duration_ns(0) / k1.tb_duration_ns(0)
+        assert 1.5 < ratio < 2.7
+
+    def test_jitter_factor_deterministic_and_bounded(self):
+        for kernel_index in range(5):
+            for tb in range(50):
+                f1 = jitter_factor(kernel_index, tb, 0.15)
+                f2 = jitter_factor(kernel_index, tb, 0.15)
+                assert f1 == f2
+                assert 0.85 <= f1 <= 1.15
+
+    def test_jitter_varies_across_tbs(self):
+        values = {jitter_factor(0, tb, 0.15) for tb in range(64)}
+        assert len(values) > 32
+
+    def test_zero_jitter_config(self):
+        config = GPUConfig(duration_jitter=0.0)
+        runtime = BlockMaestroRuntime(config)
+        plan = runtime.plan(make_chain_app(name="nj"), reorder=False)
+        k = plan.kernels[0]
+        assert k.tb_duration_ns(0) == k.tb_duration_ns(31)
+
+
+class TestGrandparentDetection:
+    def _three_kernel_app(self, skip_dep=True):
+        """K1 writes A; K2 touches B only; K3 reads A (grandparent)."""
+        b = AppBuilder("gp")
+        a = b.alloc("A", 32 * 128 * 4)
+        bb = b.alloc("B", 32 * 128 * 4)
+        c = b.alloc("C", 32 * 128 * 4)
+        b.h2d(a)
+        b.h2d(bb)
+        b.launch(PRODUCE_SRC, grid=32, block=128, args={"IN0": bb, "OUT": a}, tag="k1")
+        b.launch(
+            PRODUCE_SRC.replace("produce", "mid"),
+            grid=32,
+            block=128,
+            args={"IN0": bb, "OUT": bb},
+            tag="k2",
+        )
+        src = a if skip_dep else bb
+        b.launch(
+            PRODUCE_SRC.replace("produce", "k3"),
+            grid=32,
+            block=128,
+            args={"IN0": src, "OUT": c},
+            tag="k3",
+        )
+        b.d2h(c)
+        return b.build()
+
+    def test_grandparent_flagged_in_window(self, runtime):
+        plan = runtime.plan(self._three_kernel_app(), reorder=False, window=3)
+        assert plan.kernels[2].grandparent_barrier
+
+    def test_no_flag_outside_window(self, runtime):
+        plan = runtime.plan(self._three_kernel_app(), reorder=False, window=2)
+        assert not plan.kernels[2].grandparent_barrier
+
+    def test_no_flag_without_dependency(self, runtime):
+        plan = runtime.plan(
+            self._three_kernel_app(skip_dep=False), reorder=False, window=3
+        )
+        assert not plan.kernels[2].grandparent_barrier
+
+
+class TestSummaryCache:
+    def test_identical_launches_share_summary(self, runtime):
+        app = make_chain_app(num_pairs=2, name="cache")
+        plan = runtime.plan(app, reorder=False)
+        # prod1 and prod0 have the same body but different input buffer
+        # at i=0 (A) vs i=1 (C): only exact repeats share
+        prod0, cons0, prod1, cons1 = plan.kernels
+        assert cons0.summary is cons1.summary
+        assert prod0.summary is not prod1.summary

@@ -1,0 +1,109 @@
+"""Unit tests for stream-aware traces and the pipelines workload."""
+
+import pytest
+
+from repro.host.api import StreamSynchronize
+from repro.workloads.base import AppBuilder
+from repro.workloads.streams import build_pipelines
+
+from tests.conftest import PRODUCE_SRC
+
+
+class TestStreamTraceDeps:
+    def _two_stream_app(self, with_sync):
+        b = AppBuilder("ts")
+        a1 = b.alloc("A1", 1024)
+        a2 = b.alloc("A2", 1024)
+        o1 = b.alloc("O1", 1024)
+        o2 = b.alloc("O2", 1024)
+        b.h2d(a1, stream=1)
+        b.h2d(a2, stream=2)
+        b.launch(PRODUCE_SRC, grid=1, block=32, args={"IN0": a1, "OUT": o1}, stream=1)
+        if with_sync:
+            b.stream_sync(1)
+        b.launch(
+            PRODUCE_SRC.replace("produce", "p2"),
+            grid=1, block=32, args={"IN0": a2, "OUT": o2}, stream=2,
+        )
+        b.d2h(o1, stream=1)
+        b.d2h(o2, stream=2)
+        return b.build()
+
+    def test_streams_do_not_imply_dependencies(self):
+        app = self._two_stream_app(with_sync=False)
+        deps = app.trace.true_dependencies()
+        calls = app.trace.calls
+        k2 = next(
+            i for i, c in enumerate(calls)
+            if c.is_kernel and c.stream_id == 2
+        )
+        # the stream-2 kernel depends only on its own malloc/copy
+        for d in deps[k2]:
+            assert calls[d].stream_id in (0, 2)
+
+    def test_stream_sync_barriers_only_its_stream(self):
+        app = self._two_stream_app(with_sync=True)
+        deps = app.trace.true_dependencies()
+        calls = app.trace.calls
+        sync_pos = next(
+            i for i, c in enumerate(calls) if isinstance(c, StreamSynchronize)
+        )
+        # the sync depends on every earlier stream-1 call
+        for i in range(sync_pos):
+            if calls[i].stream_id == 1:
+                assert i in deps[sync_pos]
+        # stream-2 calls do not feed the stream-1 barrier
+        for d in deps[sync_pos]:
+            assert calls[d].stream_id == 1
+        # later stream-1 calls are gated by the barrier
+        later_s1 = [
+            i
+            for i in range(sync_pos + 1, len(calls))
+            if calls[i].stream_id == 1
+        ]
+        for i in later_s1:
+            assert sync_pos in deps[i]
+        # later stream-2 calls are not
+        later_s2 = [
+            i
+            for i in range(sync_pos + 1, len(calls))
+            if calls[i].stream_id == 2
+        ]
+        for i in later_s2:
+            assert sync_pos not in deps[i]
+
+    def test_stream_sync_blocks_baseline_host_only(self):
+        sync = StreamSynchronize(stream_id=3)
+        assert sync.blocks_host_baseline
+        assert not sync.blocks_host_blockmaestro
+        assert "s3" in str(sync)
+
+
+class TestPipelinesWorkload:
+    def test_kernel_count(self):
+        app = build_pipelines(pipelines=3, stages=4)
+        assert app.num_kernel_launches == 12
+
+    def test_single_stream_default(self):
+        app = build_pipelines(pipelines=2, stages=2, use_streams=False)
+        assert {c.stream_id for c in app.trace.kernel_calls} == {0}
+
+    def test_streams_assigned_per_pipeline(self):
+        app = build_pipelines(pipelines=3, stages=2, use_streams=True)
+        assert {c.stream_id for c in app.trace.kernel_calls} == {1, 2, 3}
+
+    def test_interleaved_issue_order(self):
+        app = build_pipelines(pipelines=2, stages=2, use_streams=False)
+        tags = [c.tag for c in app.trace.kernel_calls]
+        assert tags == ["c0s0", "c1s0", "c0s1", "c1s1"]
+
+    def test_stream_sync_optional(self):
+        plain = build_pipelines(pipelines=2, stages=1, use_streams=True)
+        synced = build_pipelines(
+            pipelines=2, stages=1, use_streams=True, with_stream_sync=True
+        )
+        count = lambda app: sum(
+            isinstance(c, StreamSynchronize) for c in app.trace.calls
+        )
+        assert count(plain) == 0
+        assert count(synced) == 2

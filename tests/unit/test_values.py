@@ -1,0 +1,187 @@
+"""Unit tests for the abstract value algebra."""
+
+import pytest
+
+from repro.analysis.affine import AffineExpr, TID
+from repro.analysis.values import (
+    SInterval,
+    UNKNOWN_ARITH,
+    UNKNOWN_MEMORY,
+    Unknown,
+    ValueAlgebra,
+    is_unknown,
+    taint_of,
+)
+
+
+@pytest.fixture
+def alg():
+    return ValueAlgebra({TID("x"): (0, 63)})
+
+
+def const(v):
+    return AffineExpr(v)
+
+
+def tid():
+    return AffineExpr.symbol(TID("x"))
+
+
+class TestSInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SInterval(5, 4)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            SInterval(0, 4, 0)
+
+    def test_singleton(self):
+        assert SInterval(3, 3).is_singleton
+
+
+class TestTaint:
+    def test_memory_dominates(self):
+        assert taint_of(UNKNOWN_ARITH, UNKNOWN_MEMORY).reason == "memory"
+
+    def test_arith_default(self):
+        assert taint_of(const(1)).reason == "arith"
+
+    def test_is_unknown(self):
+        assert is_unknown(UNKNOWN_MEMORY)
+        assert not is_unknown(const(1))
+
+
+class TestConversions:
+    def test_to_interval_constant(self, alg):
+        iv = alg.to_interval(const(7))
+        assert (iv.lo, iv.hi) == (7, 7)
+
+    def test_to_interval_affine(self, alg):
+        iv = alg.to_interval(tid().scale(4) + 100)
+        assert (iv.lo, iv.hi, iv.stride) == (100, 100 + 4 * 63, 4)
+
+    def test_to_interval_unknown_symbol(self, alg):
+        from repro.analysis.affine import LOOP
+
+        result = alg.to_interval(AffineExpr.symbol(LOOP(99)))
+        assert is_unknown(result)
+
+    def test_constant_of(self, alg):
+        assert alg.constant_of(const(5)) == 5
+        assert alg.constant_of(SInterval(3, 3)) == 3
+        assert alg.constant_of(tid()) is None
+        assert alg.constant_of(UNKNOWN_ARITH) is None
+
+
+class TestArithmetic:
+    def test_add_affine_stays_affine(self, alg):
+        r = alg.add(tid(), const(4))
+        assert isinstance(r, AffineExpr)
+        assert r.const == 4
+
+    def test_add_interval(self, alg):
+        r = alg.add(SInterval(0, 10, 2), SInterval(100, 100))
+        assert (r.lo, r.hi) == (100, 110)
+
+    def test_add_unknown_propagates(self, alg):
+        assert is_unknown(alg.add(UNKNOWN_MEMORY, const(1)))
+        assert alg.add(UNKNOWN_MEMORY, const(1)).reason == "memory"
+
+    def test_sub_affine(self, alg):
+        r = alg.sub(tid(), tid())
+        assert isinstance(r, AffineExpr) and r.is_constant
+
+    def test_mul_affine_by_const(self, alg):
+        r = alg.mul(tid(), const(8))
+        assert isinstance(r, AffineExpr)
+        assert r.coefficient(TID("x")) == 8
+
+    def test_mul_symbolic_falls_to_interval(self, alg):
+        r = alg.mul(tid(), tid())
+        assert isinstance(r, SInterval)
+        assert r.lo == 0
+        assert r.hi == 63 * 63
+
+    def test_mad(self, alg):
+        r = alg.mad(tid(), const(4), const(10))
+        assert isinstance(r, AffineExpr)
+        assert r.const == 10
+
+    def test_shl_constant_amount(self, alg):
+        r = alg.shl(tid(), const(2))
+        assert isinstance(r, AffineExpr)
+        assert r.coefficient(TID("x")) == 4
+
+    def test_shl_unknown_amount(self, alg):
+        assert is_unknown(alg.shl(tid(), tid()))
+
+    def test_shr(self, alg):
+        r = alg.shr(SInterval(0, 64, 4), const(2))
+        assert (r.lo, r.hi, r.stride) == (0, 16, 1)
+
+    def test_shr_preserves_stride_when_divisible(self, alg):
+        r = alg.shr(SInterval(0, 64, 8), const(2))
+        assert r.stride == 2
+
+    def test_shr_negative_base_unknown(self, alg):
+        assert is_unknown(alg.shr(SInterval(-4, 4), const(1)))
+
+    def test_div_by_constant(self, alg):
+        r = alg.div(SInterval(0, 100), const(10))
+        assert (r.lo, r.hi) == (0, 10)
+
+    def test_div_by_zero_unknown(self, alg):
+        assert is_unknown(alg.div(const(4), const(0)))
+
+    def test_rem_identity_when_in_range(self, alg):
+        r = alg.rem(tid(), const(64))
+        assert isinstance(r, AffineExpr)  # tid < 64 already
+
+    def test_rem_wraps(self, alg):
+        r = alg.rem(tid(), const(16))
+        assert (r.lo, r.hi) == (0, 15)
+
+    def test_and_power_of_two_mask(self, alg):
+        r = alg.and_(tid(), const(15))
+        assert (r.lo, r.hi) == (0, 15)
+
+    def test_and_mask_identity(self, alg):
+        r = alg.and_(tid(), const(63))
+        assert isinstance(r, AffineExpr)
+
+    def test_and_commutes_constant(self, alg):
+        r = alg.and_(const(15), tid())
+        assert (r.lo, r.hi) == (0, 15)
+
+    def test_or_with_zero_identity(self, alg):
+        assert alg.or_(tid(), const(0)) == tid()
+
+    def test_min_constants(self, alg):
+        assert alg.min_(const(3), const(5)).constant_value() == 3
+
+    def test_max_intervals(self, alg):
+        r = alg.max_(SInterval(0, 10), SInterval(5, 20))
+        assert (r.lo, r.hi) == (5, 20)
+
+    def test_neg(self, alg):
+        r = alg.neg(tid())
+        assert isinstance(r, AffineExpr)
+        assert r.coefficient(TID("x")) == -1
+
+
+class TestJoin:
+    def test_join_equal_affine(self, alg):
+        assert alg.join(tid(), tid()) == tid()
+
+    def test_join_different_affine_widens(self, alg):
+        r = alg.join(const(0), const(100))
+        assert isinstance(r, SInterval)
+        assert (r.lo, r.hi) == (0, 100)
+
+    def test_join_with_unknown(self, alg):
+        assert is_unknown(alg.join(tid(), UNKNOWN_MEMORY))
+
+    def test_join_soundness_bounds(self, alg):
+        r = alg.join(SInterval(0, 5), SInterval(10, 20))
+        assert r.lo <= 0 and r.hi >= 20

@@ -1,0 +1,134 @@
+"""Extra coverage for value-algebra branches and widening behaviour."""
+
+import pytest
+
+from repro.analysis.affine import AffineExpr, TID
+from repro.analysis.values import (
+    SInterval,
+    UNKNOWN_ARITH,
+    UNKNOWN_MEMORY,
+    Unknown,
+    ValueAlgebra,
+    is_unknown,
+)
+
+
+@pytest.fixture
+def alg():
+    return ValueAlgebra({TID("x"): (0, 15)})
+
+
+def tid():
+    return AffineExpr.symbol(TID("x"))
+
+
+class TestBitwiseOps:
+    def test_or_bounds(self, alg):
+        r = alg.or_(SInterval(1, 5), SInterval(2, 6))
+        assert r.lo >= 1
+        # sound upper bound: next power of two above max operand
+        assert r.hi >= 7
+
+    def test_or_negative_unknown(self, alg):
+        assert is_unknown(alg.or_(SInterval(-4, 4), SInterval(0, 1)))
+
+    def test_xor_bounds_cover_all_results(self, alg):
+        r = alg.xor(SInterval(0, 7), SInterval(0, 7))
+        for a in range(8):
+            for b in range(8):
+                assert r.lo <= (a ^ b) <= r.hi
+
+    def test_xor_negative_unknown(self, alg):
+        assert is_unknown(alg.xor(SInterval(-1, 1), SInterval(0, 1)))
+
+    def test_and_non_power_mask(self, alg):
+        r = alg.and_(tid(), AffineExpr(6))
+        assert (r.lo, r.hi) == (0, 6)
+
+    def test_and_unknown_mask(self, alg):
+        assert is_unknown(alg.and_(tid(), tid()))
+
+
+class TestShiftEdgeCases:
+    def test_shl_overflowing_amount_unknown(self, alg):
+        assert is_unknown(alg.shl(tid(), AffineExpr(100)))
+
+    def test_shl_negative_amount_unknown(self, alg):
+        assert is_unknown(alg.shl(tid(), AffineExpr(-1)))
+
+    def test_shr_of_affine_goes_through_interval(self, alg):
+        r = alg.shr(tid().scale(8), AffineExpr(3))
+        assert (r.lo, r.hi) == (0, 15)
+        assert r.stride == 1
+
+
+class TestDivRem:
+    def test_div_negative_operand_unknown(self, alg):
+        assert is_unknown(alg.div(SInterval(-8, 8), AffineExpr(2)))
+
+    def test_rem_negative_divisor_unknown(self, alg):
+        assert is_unknown(alg.rem(tid(), AffineExpr(-4)))
+
+    def test_rem_interval_operand(self, alg):
+        r = alg.rem(SInterval(0, 100), AffineExpr(7))
+        assert (r.lo, r.hi) == (0, 6)
+
+
+class TestUnknownPlumbing:
+    def test_min_with_unknown(self, alg):
+        assert is_unknown(alg.min_(UNKNOWN_ARITH, AffineExpr(3)))
+
+    def test_memory_taint_survives_chains(self, alg):
+        v = alg.add(UNKNOWN_MEMORY, AffineExpr(1))
+        v = alg.mul(v, AffineExpr(4))
+        v = alg.sub(v, tid())
+        assert isinstance(v, Unknown)
+        assert v.reason == "memory"
+
+    def test_abs_of_interval(self, alg):
+        r = alg.max_(SInterval(-5, 3), alg.neg(SInterval(-5, 3)))
+        assert r.hi >= 5
+
+    def test_neg_interval(self, alg):
+        r = alg.neg(SInterval(2, 10, 2))
+        assert (r.lo, r.hi) == (-10, -2)
+
+
+class TestWideningReasonPreservation:
+    def test_loop_widening_keeps_memory_taint(self):
+        """A loop-carried register fed by a global load must keep its
+        memory taint through widening (the Algorithm 1 bail-out must
+        survive the loop machinery)."""
+        from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+        from repro.ptx.parser import parse_kernel
+
+        kernel = parse_kernel(
+            """
+            .visible .entry chase (.param .u64 A, .param .u64 OUT, .param .u32 N)
+            {
+                ld.param.u64 %rdA, [A];
+                ld.param.u64 %rdO, [OUT];
+                ld.param.u32 %rN, [N];
+                mov.u32 %i, 0;
+                mov.u32 %k, 0;
+            LOOP:
+                mul.wide.u32 %rd1, %i, 4;
+                add.u64 %rd2, %rdA, %rd1;
+                ld.global.u32 %i, [%rd2];
+                add.u32 %k, %k, 1;
+                setp.lt.u32 %p, %k, %rN;
+                @%p bra LOOP;
+                mul.wide.u32 %rd3, %i, 4;
+                add.u64 %rd4, %rdO, %rd3;
+                st.global.f32 [%rd4], %f0;
+                ret;
+            }
+            """
+        )
+        summary = analyze_kernel(
+            kernel,
+            LaunchConfig.create(1, 4, {"A": 0, "OUT": 1 << 20, "N": 3}),
+        )
+        # pointer chasing: both Algorithm 1 and the forward pass must
+        # flag this as non-static
+        assert summary.fallback == "non_static"
