@@ -6,26 +6,44 @@ Commands:
 * ``analyze <workload>``            — run launch-time analysis, print
                                       per-kernel patterns and storage
 * ``run <workload> [--model M]``    — simulate and print a timeline
+                                      (``--json [FILE]`` for RunStats JSON)
 * ``compare <workload>``            — all roster models side by side
+                                      (``--json [FILE]`` for RunStats JSON)
+* ``trace <workload> [--model M]``  — export a Chrome trace-event JSON
+                                      (open in Perfetto) + metrics sidecar
+* ``blame <workload> [--model M]``  — systemd-analyze-style attribution:
+                                      simulated time per kernel, wall
+                                      clock per pipeline phase
 * ``experiments [names...]``        — regenerate paper tables/figures
+                                      (``--out DIR`` for JSON reports)
 * ``ablations``                     — the design-choice sweeps
+
+Model names accept the roster (``baseline``, ``ideal``, ``prelaunch``,
+``producer``, ``consumer2``..``consumer4``) plus the ``blockmaestro``
+alias for the headline consumer/window-3 configuration.
 """
 
 import argparse
+import json
 import sys
 
 from repro.core.runtime import BlockMaestroRuntime
 from repro.experiments.common import (
+    MODEL_ALIASES,
     STANDARD_MODELS,
     ExperimentContext,
     _make_model,
     _model_plan_params,
+    canonical_model_name,
     format_table,
 )
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.report import format_blame, run_stats_dict
 from repro.sim.timeline import compare_timelines, render_kernel_timeline
 from repro.workloads import all_workloads, get_workload
 
 MODEL_NAMES = [m[0] for m in STANDARD_MODELS]
+MODEL_CHOICES = MODEL_NAMES + sorted(MODEL_ALIASES)
 
 
 def cmd_list(_args):
@@ -89,11 +107,25 @@ def cmd_analyze(args):
     )
 
 
+def _emit_json(payload, destination):
+    """Write a JSON payload to stdout (``-``) or a file path."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+        print("wrote", destination)
+
+
 def cmd_run(args):
     app = get_workload(args.workload).build()
     ctx = ExperimentContext()
     ctx.register_app(app)
     stats = ctx.run_model(app, args.model)
+    if args.json == "-":
+        _emit_json(run_stats_dict(stats, include_tb_records=args.tb_records), "-")
+        return
     print(render_kernel_timeline(stats, width=args.width))
     print()
     print("model     :", stats.model)
@@ -101,6 +133,10 @@ def cmd_run(args):
     print("concurrency: {:.1f} avg thread blocks".format(stats.avg_tb_concurrency()))
     q1, med, q3 = stats.stall_quartiles()
     print("stalls    : q1={:.2f} median={:.2f} q3={:.2f}".format(q1, med, q3))
+    if args.json:
+        _emit_json(
+            run_stats_dict(stats, include_tb_records=args.tb_records), args.json
+        )
 
 
 def cmd_compare(args):
@@ -109,6 +145,18 @@ def cmd_compare(args):
     ctx.register_app(app)
     runs = [ctx.run_model(app, name) for name in MODEL_NAMES]
     baseline = runs[0]
+    if args.json:
+        payload = {
+            "workload": app.name,
+            "baseline": baseline.model,
+            "runs": [
+                dict(run_stats_dict(stats), speedup=stats.speedup_over(baseline))
+                for stats in runs
+            ],
+        }
+        _emit_json(payload, args.json)
+        if args.json == "-":
+            return
     rows = [
         {
             "model": stats.model,
@@ -128,6 +176,46 @@ def cmd_compare(args):
     if args.timelines:
         print()
         print(compare_timelines(runs[:1] + runs[2:], width=args.width))
+
+
+def _traced_run(workload, model_name):
+    """Build, plan, and simulate one workload under full observation.
+
+    Returns ``(app, stats, tracer, metrics)`` — shared by ``trace`` and
+    ``blame``.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    spec = get_workload(workload)
+    with tracer.span("workload.build:{}".format(spec.name), cat="ptx"):
+        app = spec.build()  # PTX parse + trace construction
+    model_name = canonical_model_name(model_name)
+    reorder, window = _model_plan_params(model_name)
+    runtime = BlockMaestroRuntime(tracer=tracer, metrics=metrics)
+    plan = runtime.plan(app, reorder=reorder, window=window)
+    model = _make_model(model_name, runtime.config)
+    stats = model.run(plan, tracer=tracer, metrics=metrics)
+    return app, stats, tracer, metrics
+
+
+def cmd_trace(args):
+    app, stats, tracer, metrics = _traced_run(args.workload, args.model)
+    out = args.output or "{}-trace.json".format(app.name)
+    tracer.write(out)
+    sidecar = args.metrics_out or (
+        out[: -len(".json")] + ".metrics.json" if out.endswith(".json")
+        else out + ".metrics.json"
+    )
+    metrics.write(sidecar)
+    print("model    :", stats.model)
+    print("makespan : {:.1f} us (simulated)".format(stats.makespan_ns / 1000))
+    print("events   : {} trace events -> {}".format(len(tracer), out))
+    print("metrics  : {} -> open the trace at https://ui.perfetto.dev".format(sidecar))
+
+
+def cmd_blame(args):
+    _app, stats, tracer, _metrics = _traced_run(args.workload, args.model)
+    print(format_blame(stats, tracer=tracer, limit=args.limit))
 
 
 def cmd_dot(args):
@@ -180,7 +268,7 @@ def cmd_validate(args):
 def cmd_experiments(args):
     from repro.experiments import runner
 
-    runner.run_all(args.names or None)
+    runner.run_all(args.names or None, out_dir=args.out)
 
 
 def cmd_ablations(_args):
@@ -204,16 +292,65 @@ def build_parser():
 
     p_run = sub.add_parser("run", help="simulate one workload")
     p_run.add_argument("workload")
-    p_run.add_argument("--model", choices=MODEL_NAMES, default="consumer3")
+    p_run.add_argument("--model", choices=MODEL_CHOICES, default="consumer3")
     p_run.add_argument("--width", type=int, default=72)
+    p_run.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="dump RunStats as JSON to stdout (no FILE) or FILE",
+    )
+    p_run.add_argument(
+        "--tb-records",
+        action="store_true",
+        help="include per-thread-block records in --json output",
+    )
 
     p_compare = sub.add_parser("compare", help="all models on one workload")
     p_compare.add_argument("workload")
     p_compare.add_argument("--timelines", action="store_true")
     p_compare.add_argument("--width", type=int, default=72)
+    p_compare.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="dump every model's RunStats as JSON to stdout or FILE",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="export a Chrome trace-event JSON (Perfetto-loadable)"
+    )
+    p_trace.add_argument("workload")
+    p_trace.add_argument("--model", choices=MODEL_CHOICES, default="consumer3")
+    p_trace.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="trace path (default: <workload>-trace.json)",
+    )
+    p_trace.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="metrics sidecar path (default: <trace>.metrics.json)",
+    )
+
+    p_blame = sub.add_parser(
+        "blame", help="attribute simulated/wall time, worst offenders first"
+    )
+    p_blame.add_argument("workload")
+    p_blame.add_argument("--model", choices=MODEL_CHOICES, default="consumer3")
+    p_blame.add_argument(
+        "--limit", type=int, default=None,
+        help="show only the N most expensive kernels",
+    )
 
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     p_exp.add_argument("names", nargs="*")
+    p_exp.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write one JSON report per experiment into DIR",
+    )
 
     p_dot = sub.add_parser("dot", help="Graphviz DOT of a kernel-pair graph")
     p_dot.add_argument("workload")
@@ -237,6 +374,8 @@ COMMANDS = {
     "analyze": cmd_analyze,
     "run": cmd_run,
     "compare": cmd_compare,
+    "trace": cmd_trace,
+    "blame": cmd_blame,
     "experiments": cmd_experiments,
     "ablations": cmd_ablations,
 }
@@ -244,7 +383,14 @@ COMMANDS = {
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    COMMANDS[args.command](args)
+    try:
+        COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away; not an error
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
     return 0
 
 

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.dependency_graph import BipartiteGraph, GraphKind
+from repro.obs import resolve_metrics
 
 
 @dataclass(frozen=True)
@@ -80,10 +81,19 @@ class PairTraffic:
 
 
 class DependencyHardware:
-    """Request accounting for the DLB/PCB against a dependency graph."""
+    """Request accounting for the DLB/PCB against a dependency graph.
 
-    def __init__(self, config: HardwareConfig = None):
+    When a :class:`~repro.obs.MetricsRegistry` is attached, every pair
+    also feeds occupancy and spill counters: total DLB entries occupied
+    (wide child lists span several entries — ``hw.dlb_spill_lists``
+    counts those), PCB entries allocated, and pairs whose working set
+    alone exceeds a buffer's capacity (``hw.*_overflow_pairs`` — the
+    global-memory copy absorbs the spill).
+    """
+
+    def __init__(self, config: HardwareConfig = None, metrics=None):
         self.config = config or HardwareConfig()
+        self.metrics = resolve_metrics(metrics)
 
     def pair_traffic(self, graph: BipartiteGraph) -> PairTraffic:
         """Requests to resolve one parent/child kernel pair.
@@ -98,20 +108,44 @@ class DependencyHardware:
           (2 * ceil(children_with_parents / counters_per_line)).
         """
         cfg = self.config
+        m = self.metrics
         if graph.kind is GraphKind.INDEPENDENT:
+            m.inc("hw.pairs_independent")
             return PairTraffic()
         if graph.kind is GraphKind.FULLY_CONNECTED:
+            m.inc("hw.pairs_fully_connected")
             return PairTraffic(list_fetch_requests=1.0)
         list_requests = 0.0
+        dlb_entries = 0
+        spill_lists = 0
+        max_out_degree = 0
         for p in range(graph.num_parents):
             out_degree = len(graph.children_of[p])
             if out_degree == 0:
                 continue
+            dlb_entries += self.dlb_entries_for(out_degree)
+            if out_degree > cfg.children_per_entry:
+                spill_lists += 1
+            if out_degree > max_out_degree:
+                max_out_degree = out_degree
             bytes_needed = 4 * out_degree
             list_requests += math.ceil(bytes_needed / cfg.line_bytes)
         counters_per_line = cfg.line_bytes  # 1 byte per 6-bit counter slot
         dependent_children = sum(1 for c in graph.parent_counts if c > 0)
         counter_requests = 2.0 * math.ceil(dependent_children / counters_per_line)
+        if m.enabled:
+            m.inc("hw.pairs_explicit")
+            m.inc("hw.dlb_entries", dlb_entries)
+            m.inc("hw.dlb_spill_lists", spill_lists)
+            m.inc("hw.pcb_entries", dependent_children)
+            m.inc("hw.list_fetch_requests", list_requests)
+            m.inc("hw.counter_requests", counter_requests)
+            if dlb_entries > cfg.dlb_entries:
+                m.inc("hw.dlb_overflow_pairs")
+            if dependent_children > cfg.pcb_entries:
+                m.inc("hw.pcb_overflow_pairs")
+            m.observe("hw.max_out_degree", max_out_degree)
+            m.observe("hw.dependent_children", dependent_children)
         return PairTraffic(
             list_fetch_requests=list_requests, counter_requests=counter_requests
         )

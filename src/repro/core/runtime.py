@@ -36,6 +36,7 @@ from repro.core.hardware import DependencyHardware, HardwareConfig, PairTraffic
 from repro.core.reorder import reorder_trace
 from repro.host.api import KernelLaunchCall, kernel_param_directions
 from repro.host.trace import compute_true_dependencies
+from repro.obs import resolve_metrics, resolve_tracer
 from repro.sim.config import GPUConfig
 from repro.sim.cost import CostModel
 
@@ -163,10 +164,14 @@ class BlockMaestroRuntime:
         hazards=("raw",),
         window: int = 2,
         max_intervals: int = 64,
+        tracer=None,
+        metrics=None,
     ):
         self.config = config or GPUConfig()
         self.hardware_config = hardware or HardwareConfig()
-        self.hardware = DependencyHardware(self.hardware_config)
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
+        self.hardware = DependencyHardware(self.hardware_config, metrics=self.metrics)
         self.cost_model = CostModel(self.config)
         self.hazards = tuple(hazards)
         self.window = window
@@ -177,75 +182,108 @@ class BlockMaestroRuntime:
     def plan(self, application, reorder=True, window=None) -> RuntimePlan:
         """Analyze an application (anything with ``.name`` and ``.trace``)."""
         window = window if window is not None else self.window
+        tracer, metrics = self.tracer, self.metrics
         analysis_start = time.perf_counter()
-        trace = application.trace
-        trace.validate()
-        order = reorder_trace(trace) if reorder else list(trace.calls)
-        deps = compute_true_dependencies(order)
+        with tracer.span(
+            "plan:{}".format(application.name),
+            cat="plan",
+            args={"application": application.name, "reorder": reorder, "window": window},
+        ):
+            trace = application.trace
+            with tracer.span("plan.validate", cat="plan"):
+                trace.validate()
+            with tracer.span("plan.reorder", cat="plan"):
+                order = reorder_trace(trace) if reorder else list(trace.calls)
+            with tracer.span("plan.true-deps", cat="plan"):
+                deps = compute_true_dependencies(order)
 
-        kernels: List[KernelPlan] = []
-        kernel_at_position = {}
-        chain_tail: Dict[int, int] = {}  # stream -> last kernel index
-        for position, call in enumerate(order):
-            if not call.is_kernel:
-                continue
-            summary = self._analyze(call)
-            coalescing = 1.0
-            if self.config.model_coalescing:
-                coalescing = summary.coalescing_factor(
-                    warp_size=self.config.warp_size,
-                    line_bytes=self.config.line_bytes,
-                )
-            plan = KernelPlan(
-                kernel_index=len(kernels),
-                order_position=position,
-                call=call,
-                summary=summary,
-                stream=call.stream_id,
-                kernel_memory_requests=self.cost_model.kernel_memory_requests(
-                    summary.dynamic_mix,
-                    call.threads_per_tb,
-                    call.num_tbs,
-                    coalescing=coalescing,
-                ),
-                _base_duration_ns=self.cost_model.tb_duration_ns(
-                    summary.dynamic_mix,
-                    call.threads_per_tb,
-                    call.intensity,
-                    coalescing=coalescing,
-                ),
-                _duration_fn=call.tb_duration_fn,
-                _duration_scale_fn=call.tb_duration_scale_fn,
-                _jitter=self.config.duration_jitter,
-            )
-            prev = chain_tail.get(call.stream_id)
-            if prev is not None:
-                plan.chain_prev = prev
-                plan.chain_grandparent = kernels[prev].chain_prev
-                kernels[prev].chain_next = plan.kernel_index
-            chain_tail[call.stream_id] = plan.kernel_index
-            kernel_at_position[position] = plan.kernel_index
-            kernels.append(plan)
+            kernels: List[KernelPlan] = []
+            kernel_at_position = {}
+            chain_tail: Dict[int, int] = {}  # stream -> last kernel index
+            with tracer.span("plan.analyze", cat="plan"):
+                for position, call in enumerate(order):
+                    if not call.is_kernel:
+                        continue
+                    summary = self._analyze(call)
+                    coalescing = 1.0
+                    if self.config.model_coalescing:
+                        coalescing = summary.coalescing_factor(
+                            warp_size=self.config.warp_size,
+                            line_bytes=self.config.line_bytes,
+                        )
+                    plan = KernelPlan(
+                        kernel_index=len(kernels),
+                        order_position=position,
+                        call=call,
+                        summary=summary,
+                        stream=call.stream_id,
+                        kernel_memory_requests=self.cost_model.kernel_memory_requests(
+                            summary.dynamic_mix,
+                            call.threads_per_tb,
+                            call.num_tbs,
+                            coalescing=coalescing,
+                        ),
+                        _base_duration_ns=self.cost_model.tb_duration_ns(
+                            summary.dynamic_mix,
+                            call.threads_per_tb,
+                            call.intensity,
+                            coalescing=coalescing,
+                        ),
+                        _duration_fn=call.tb_duration_fn,
+                        _duration_scale_fn=call.tb_duration_scale_fn,
+                        _jitter=self.config.duration_jitter,
+                    )
+                    prev = chain_tail.get(call.stream_id)
+                    if prev is not None:
+                        plan.chain_prev = prev
+                        plan.chain_grandparent = kernels[prev].chain_prev
+                        kernels[prev].chain_next = plan.kernel_index
+                    chain_tail[call.stream_id] = plan.kernel_index
+                    kernel_at_position[position] = plan.kernel_index
+                    kernels.append(plan)
+            metrics.inc("plan.kernels", len(kernels))
 
-        plain_total = 0
-        encoded_total = 0
-        for plan in kernels:
-            if plan.chain_prev is None:
-                continue
-            graph = self._graph_for(kernels[plan.chain_prev], plan)
-            encoded = encode_graph(
-                graph, degree_threshold=self.hardware_config.degree_threshold
-            )
-            plan.encoded = encoded
-            plan.traffic = self.hardware.pair_traffic(encoded.effective)
-            plain_total += encoded.plain_bytes
-            encoded_total += encoded.encoded_bytes
-            plan.grandparent_barrier = self._has_grandparent_dep(
-                kernels, plan.kernel_index, window
-            )
+            plain_total = 0
+            encoded_total = 0
+            with tracer.span("plan.graphs", cat="plan"):
+                for plan in kernels:
+                    if plan.chain_prev is None:
+                        continue
+                    graph = self._graph_for(kernels[plan.chain_prev], plan)
+                    encoded = encode_graph(
+                        graph, degree_threshold=self.hardware_config.degree_threshold
+                    )
+                    plan.encoded = encoded
+                    plan.traffic = self.hardware.pair_traffic(encoded.effective)
+                    plain_total += encoded.plain_bytes
+                    encoded_total += encoded.encoded_bytes
+                    plan.grandparent_barrier = self._has_grandparent_dep(
+                        kernels, plan.kernel_index, window
+                    )
+                    metrics.inc("plan.graphs_built")
+                    if encoded.collapsed:
+                        metrics.inc("plan.graphs_collapsed")
+                    if tracer.enabled:
+                        tracer.instant(
+                            "graph:{}".format(plan.name),
+                            cat="plan.graph",
+                            args={
+                                "pattern": encoded.original_pattern.pattern.value,
+                                "edges": encoded.original.num_edges,
+                                "collapsed": encoded.collapsed,
+                                "encoded_bytes": encoded.encoded_bytes,
+                                "plain_bytes": encoded.plain_bytes,
+                                "grandparent_barrier": plan.grandparent_barrier,
+                            },
+                        )
 
-        self._attach_cross_stream_deps(kernels, deps, kernel_at_position)
+            with tracer.span("plan.cross-stream", cat="plan"):
+                self._attach_cross_stream_deps(kernels, deps, kernel_at_position)
 
+        analysis_seconds = time.perf_counter() - analysis_start
+        metrics.set_gauge("plan.analysis_ms", analysis_seconds * 1e3)
+        metrics.set_gauge("plan.graph_plain_bytes", plain_total)
+        metrics.set_gauge("plan.graph_encoded_bytes", encoded_total)
         return RuntimePlan(
             application=application.name,
             order=order,
@@ -255,7 +293,7 @@ class BlockMaestroRuntime:
             graph_plain_bytes=plain_total,
             graph_encoded_bytes=encoded_total,
             reordered=reorder,
-            analysis_seconds=time.perf_counter() - analysis_start,
+            analysis_seconds=analysis_seconds,
         )
 
     # ------------------------------------------------------------------
@@ -268,11 +306,15 @@ class BlockMaestroRuntime:
         key = (id(call.kernel), launch)
         cached = self._summary_cache.get(key)
         if cached is not None:
+            self.metrics.inc("plan.analysis_cache_hits")
             return cached
         summary = analyze_kernel(
             call.kernel, launch, max_intervals=self.max_intervals
         )
         self._summary_cache[key] = summary
+        self.metrics.inc("plan.kernels_analyzed")
+        if not summary.exact:
+            self.metrics.inc("plan.analysis_fallbacks")
         return summary
 
     def _graph_for(self, parent_plan, child_plan):

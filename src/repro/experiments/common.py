@@ -26,8 +26,17 @@ STANDARD_MODELS = (
     ("consumer4", None, True, 4),
 )
 
+#: convenience names accepted anywhere a roster model is named
+MODEL_ALIASES = {"blockmaestro": "consumer3", "bm": "consumer3"}
+
+
+def canonical_model_name(name):
+    """Resolve aliases (``blockmaestro`` → its headline configuration)."""
+    return MODEL_ALIASES.get(name, name)
+
 
 def _make_model(name, gpu_config):
+    name = canonical_model_name(name)
     if name == "baseline":
         return SerializedBaseline(gpu_config)
     if name == "ideal":
@@ -98,6 +107,7 @@ class ExperimentContext:
 
     def run_model(self, app, model_name):
         """Run one roster model on one app, memoized."""
+        model_name = canonical_model_name(model_name)
         key = (app.name, model_name)
         if key not in self._runs:
             reorder, window = _model_plan_params(model_name)
@@ -112,6 +122,7 @@ class ExperimentContext:
 
 
 def _model_plan_params(model_name):
+    model_name = canonical_model_name(model_name)
     for name, _factory, reorder, window in STANDARD_MODELS:
         if name == model_name:
             return reorder, window

@@ -4,10 +4,18 @@ Usage::
 
     python -m repro.experiments.runner            # everything
     python -m repro.experiments.runner fig09 tab3 # selected
+    python -m repro.experiments.runner --out reports/   # + JSON artifacts
+
+``--output FILE`` captures the text tables; ``--out DIR`` additionally
+writes one machine-readable JSON report per experiment
+(``DIR/<name>.json``, schema in :mod:`repro.obs.report`) so benchmark
+trajectories can be recorded and diffed across commits.
 """
 
 import sys
 import time
+
+from repro.obs.report import write_experiment_report
 
 from repro.experiments import common
 from repro.experiments import (
@@ -42,7 +50,7 @@ EXPERIMENTS = {
 _CTX_AWARE = {"fig09", "fig10", "fig11", "fig13", "tab2", "tab3", "census"}
 
 
-def run_all(names=None, stream=sys.stdout):
+def run_all(names=None, stream=sys.stdout, out_dir=None):
     names = list(names or EXPERIMENTS)
     ctx = common.ExperimentContext()
     results = {}
@@ -60,19 +68,28 @@ def run_all(names=None, stream=sys.stdout):
         stream.write(module.format_rows(rows))
         stream.write("\n[{} finished in {:.1f}s]\n\n".format(name, elapsed))
         stream.flush()
+        if out_dir:
+            path = write_experiment_report(out_dir, name, rows, elapsed)
+            stream.write("[report: {}]\n".format(path))
     return results
+
+
+def _pop_flag(argv, flag):
+    if flag not in argv:
+        return None
+    idx = argv.index(flag)
+    try:
+        value = argv[idx + 1]
+    except IndexError:
+        raise SystemExit("{} requires a path".format(flag))
+    del argv[idx : idx + 2]
+    return value
 
 
 def main(argv=None):
     argv = list(argv if argv is not None else sys.argv[1:])
-    output_path = None
-    if "--output" in argv:
-        idx = argv.index("--output")
-        try:
-            output_path = argv[idx + 1]
-        except IndexError:
-            raise SystemExit("--output requires a file path")
-        del argv[idx : idx + 2]
+    output_path = _pop_flag(argv, "--output")
+    out_dir = _pop_flag(argv, "--out")
     unknown = [a for a in argv if a not in EXPERIMENTS]
     if unknown:
         raise SystemExit(
@@ -82,10 +99,10 @@ def main(argv=None):
         )
     if output_path:
         with open(output_path, "w") as handle:
-            run_all(argv or None, stream=handle)
+            run_all(argv or None, stream=handle, out_dir=out_dir)
         print("wrote", output_path)
     else:
-        run_all(argv or None)
+        run_all(argv or None, out_dir=out_dir)
 
 
 if __name__ == "__main__":

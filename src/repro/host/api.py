@@ -83,6 +83,22 @@ class APICall:
     call_id: int = field(default=-1, init=False)
     stream_id: int = field(default=0, kw_only=True)
 
+    #: short, stable event name used for trace output (tracer spans are
+    #: grouped and blamed by this name; ``trace_args`` carries detail)
+    trace_kind = "api"
+
+    @property
+    def trace_name(self):
+        return self.trace_kind
+
+    def trace_args(self):
+        """Argument payload attached to this call's trace events."""
+        return {
+            "call_id": self.call_id,
+            "stream": self.stream_id,
+            "call": str(self),
+        }
+
     def buffers_read(self) -> Tuple[Buffer, ...]:
         return ()
 
@@ -115,6 +131,7 @@ class MallocCall(APICall):
     """``cudaMalloc``: host-blocking, executes off the command queue."""
 
     buffer: Buffer = None
+    trace_kind = "malloc"
 
     def buffers_defined(self):
         return (self.buffer,)
@@ -135,6 +152,8 @@ class ManagedMallocCall(MallocCall):
     host-blocking in both semantics (page-migration setup).
     """
 
+    trace_kind = "mallocManaged"
+
     @property
     def blocks_host_blockmaestro(self):
         return True
@@ -147,6 +166,7 @@ class ManagedMallocCall(MallocCall):
 class MemcpyH2D(APICall):
     """Host-to-device copy: a device-visible *write* of the buffer."""
 
+    trace_kind = "memcpyH2D"
     buffer: Buffer = None
     size: Optional[int] = None
 
@@ -167,6 +187,7 @@ class MemcpyD2H(APICall):
     host consumes the data — the one implicit synchronization
     BlockMaestro must preserve)."""
 
+    trace_kind = "memcpyD2H"
     buffer: Buffer = None
     size: Optional[int] = None
 
@@ -190,6 +211,8 @@ class DeviceSynchronize(APICall):
     """``cudaDeviceSynchronize``: baseline host barrier; BlockMaestro
     bypasses it (correctness is enforced in hardware)."""
 
+    trace_kind = "deviceSync"
+
     def __str__(self):
         return "deviceSynchronize()"
 
@@ -203,6 +226,8 @@ class StreamSynchronize(APICall):
     downstream commands are gated by their true data dependencies only.
     """
 
+    trace_kind = "streamSync"
+
     def __str__(self):
         return "streamSynchronize(s{})".format(self.stream_id)
 
@@ -215,6 +240,7 @@ class EventRecord(APICall):
     before it has completed.  Non-blocking on the host.
     """
 
+    trace_kind = "eventRecord"
     event_id: int = 0
 
     @property
@@ -236,6 +262,7 @@ class StreamWaitEvent(APICall):
     so the explicit wait adds no extra serialization.
     """
 
+    trace_kind = "streamWaitEvent"
     event_id: int = 0
 
     @property
@@ -283,6 +310,17 @@ class KernelLaunchCall(APICall):
     @property
     def is_kernel(self):
         return True
+
+    @property
+    def trace_name(self):
+        return "launch:{}".format(self.tag or self.kernel.name)
+
+    def trace_args(self):
+        args = super().trace_args()
+        args.update(
+            {"grid": list(self.grid), "block": list(self.block), "tbs": self.num_tbs}
+        )
+        return args
 
     @property
     def blocks_host_baseline(self):

@@ -65,6 +65,14 @@ _BYPASSED_BARRIERS = (
     EventRecord,
     StreamWaitEvent,
 )
+from repro.obs import (
+    PID_DEVICE,
+    PID_HOST,
+    PID_RUNTIME,
+    PID_SM,
+    resolve_metrics,
+    resolve_tracer,
+)
 from repro.sim.config import GPUConfig
 from repro.sim.device import Device
 from repro.sim.events import EventQueue
@@ -109,9 +117,25 @@ class ExecutionModel:
     def options(self) -> EngineOptions:
         raise NotImplementedError
 
-    def run(self, plan: RuntimePlan) -> RunStats:
-        engine = ExecutionEngine(plan, self.gpu_config, self.options())
-        return engine.run()
+    def run(self, plan: RuntimePlan, tracer=None, metrics=None) -> RunStats:
+        """Simulate ``plan``; pass a tracer/metrics registry to observe.
+
+        Instrumentation is observation only — results are identical
+        whether or not a tracer is attached.
+        """
+        tracer = resolve_tracer(tracer)
+        metrics = resolve_metrics(metrics)
+        options = self.options()
+        with tracer.span(
+            "model:{}".format(options.name),
+            cat="model",
+            pid=PID_RUNTIME,
+            args={"application": plan.application},
+        ):
+            engine = ExecutionEngine(
+                plan, self.gpu_config, options, tracer=tracer, metrics=metrics
+            )
+            return engine.run()
 
 
 # ----------------------------------------------------------------------
@@ -141,17 +165,27 @@ class _KernelState:
 
 
 class ExecutionEngine:
-    def __init__(self, plan: RuntimePlan, gpu_config: GPUConfig, options: EngineOptions):
+    def __init__(
+        self,
+        plan: RuntimePlan,
+        gpu_config: GPUConfig,
+        options: EngineOptions,
+        tracer=None,
+        metrics=None,
+    ):
         self.plan = plan
         self.config = gpu_config
         self.opts = options
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
         self.events = EventQueue()
-        self.device = Device(gpu_config)
+        self.device = Device(gpu_config, tracer=self.tracer, metrics=self.metrics)
         self.timing = gpu_config.timing
         self.kernels = [_KernelState(plan=kp) for kp in plan.kernels]
         self.call_done = [False] * len(plan.order)
         self.call_done_ns = [0.0] * len(plan.order)
         self.call_enqueued = [False] * len(plan.order)
+        self.call_enqueued_ns = [0.0] * len(plan.order)
         self.call_started = [False] * len(plan.order)
         self.tb_records: List[TBRecord] = []
         self.counters: Dict[str, float] = {
@@ -259,7 +293,97 @@ class ExecutionEngine:
             counters=dict(self.counters),
         )
         self._check_all_complete()
-        return stats.validate_invariants()
+        stats.validate_invariants()
+        self._emit_trace(stats)
+        self._record_metrics(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # observability (pure observation: derived from the finished run's
+    # records, so tracing can never perturb simulated behaviour)
+    # ------------------------------------------------------------------
+    def _emit_trace(self, stats: RunStats):
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        # host command queue: one span per API call, enqueue → complete
+        for position, call in enumerate(self.plan.order):
+            tracer.name_thread(
+                PID_HOST, call.stream_id, "stream {}".format(call.stream_id)
+            )
+            tracer.sim_span(
+                call.trace_name,
+                self.call_enqueued_ns[position],
+                self.call_done_ns[position],
+                cat="host.queue",
+                pid=PID_HOST,
+                tid=call.stream_id,
+                args=call.trace_args(),
+            )
+        # kernel lifecycle phases: one thread row per kernel so phases of
+        # concurrently in-flight kernels never collide
+        for kr in stats.kernel_records:
+            tid = kr.index
+            tracer.name_thread(
+                PID_DEVICE, tid, "k{:02d} {} (s{})".format(kr.index, kr.name, kr.stream)
+            )
+            info = {"kernel": kr.name, "index": kr.index, "stream": kr.stream}
+            if kr.launch_begin_ns > kr.queued_ns:
+                tracer.sim_span(
+                    "queued", kr.queued_ns, kr.launch_begin_ns,
+                    cat="kernel.queued", pid=PID_DEVICE, tid=tid, args=info,
+                )
+            tracer.sim_span(
+                "launch", kr.launch_begin_ns, kr.resident_ns,
+                cat="kernel.launch", pid=PID_DEVICE, tid=tid, args=info,
+            )
+            first = kr.first_tb_start_ns or kr.resident_ns
+            if first > kr.resident_ns:
+                tracer.sim_span(
+                    "stall", kr.resident_ns, first,
+                    cat="kernel.stall", pid=PID_DEVICE, tid=tid, args=info,
+                )
+            tracer.sim_span(
+                "exec", first, kr.all_tbs_done_ns,
+                cat="kernel.exec", pid=PID_DEVICE, tid=tid,
+                args=dict(info, num_tbs=kr.num_tbs),
+            )
+            tracer.instant(
+                "complete", ts_us=kr.completed_ns / 1e3,
+                cat="kernel.complete", pid=PID_DEVICE, tid=tid, args=info,
+            )
+        # per-TB lifecycle on SM rows; async events because blocks of
+        # several kernels overlap on one SM
+        for tb in stats.tb_records:
+            tracer.name_thread(PID_SM, tb.sm, "SM {:02d}".format(tb.sm))
+            event_id = "k{}.tb{}".format(tb.kernel_index, tb.tb_id)
+            name = "k{}/tb{}".format(tb.kernel_index, tb.tb_id)
+            tracer.async_begin(
+                name, tb.start_ns / 1e3, event_id,
+                cat="tb", pid=PID_SM, tid=tb.sm,
+                args={
+                    "kernel": tb.kernel_index,
+                    "tb": tb.tb_id,
+                    "ready_ns": tb.ready_ns,
+                    "stall_ns": tb.stall_ns,
+                },
+            )
+            tracer.async_end(name, tb.finish_ns / 1e3, event_id, cat="tb",
+                             pid=PID_SM, tid=tb.sm)
+
+    def _record_metrics(self, stats: RunStats):
+        m = self.metrics
+        if not m.enabled:
+            return
+        m.set_gauge("engine.makespan_ns", stats.makespan_ns)
+        m.set_gauge("engine.avg_tb_concurrency", stats.avg_tb_concurrency())
+        m.set_gauge("engine.events_processed", self.events.processed)
+        m.set_gauge("engine.peak_pending_events", self.events.peak_pending)
+        for name, value in self.counters.items():
+            m.set_gauge("engine.{}".format(name), value)
+        for tb in stats.tb_records:
+            m.observe("engine.tb_stall_ns", tb.stall_ns)
+            m.observe("engine.tb_duration_ns", tb.duration_ns)
 
     def _check_all_complete(self):
         for i, done in enumerate(self.call_done):
@@ -340,6 +464,7 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     def _enqueue(self, position):
         self.call_enqueued[position] = True
+        self.call_enqueued_ns[position] = self.events.now
         call = self.plan.order[position]
         if isinstance(call, KernelLaunchCall):
             ki = self.plan.kernel_at_position[position]
@@ -601,6 +726,7 @@ class ExecutionEngine:
                     ready_ns=min(ready_ns, now),
                     start_ns=now,
                     finish_ns=now + duration,
+                    sm=sm,
                 )
                 self.tb_records.append(record)
                 self.events.schedule(

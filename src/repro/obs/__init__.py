@@ -1,0 +1,99 @@
+"""Observability: event tracing, metrics, and report serialization.
+
+The package has three parts:
+
+* :mod:`repro.obs.tracer` — span/instant/counter event capture in
+  Chrome trace-event JSON (open the output in Perfetto or
+  ``chrome://tracing``);
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  running-stat histograms with a snapshot/export API;
+* :mod:`repro.obs.report` — the shared JSON serializer for
+  :class:`~repro.sim.stats.RunStats`, the ``blame`` attribution tables,
+  and per-experiment report artifacts.
+
+Every instrumented component takes optional ``tracer=`` / ``metrics=``
+arguments.  When omitted they resolve — via :func:`resolve_tracer` /
+:func:`resolve_metrics` — to the ambient instances (no-op by default),
+so instrumentation has zero cost and zero behavioural effect unless a
+caller opts in, either explicitly or with :func:`observed`::
+
+    with observed(Tracer(), MetricsRegistry()) as (tracer, metrics):
+        plan = BlockMaestroRuntime().plan(app)   # traced implicitly
+
+Tracing is observation only: enabling it must never change simulated
+results (tests assert makespan equality with tracing on and off).
+"""
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    NULL_METRICS,
+)
+from repro.obs.tracer import (
+    NullTracer,
+    NULL_TRACER,
+    PID_DEVICE,
+    PID_HOST,
+    PID_RUNTIME,
+    PID_SM,
+    Tracer,
+)
+
+_ambient_tracer = NULL_TRACER
+_ambient_metrics = NULL_METRICS
+
+
+def resolve_tracer(tracer):
+    """``tracer`` if given, else the ambient (default: no-op) tracer."""
+    return _ambient_tracer if tracer is None else tracer
+
+
+def resolve_metrics(metrics):
+    """``metrics`` if given, else the ambient (default: no-op) registry."""
+    return _ambient_metrics if metrics is None else metrics
+
+
+def set_ambient(tracer=None, metrics=None):
+    """Install ambient instances; ``None`` resets to the no-op twins."""
+    global _ambient_tracer, _ambient_metrics
+    _ambient_tracer = NULL_TRACER if tracer is None else tracer
+    _ambient_metrics = NULL_METRICS if metrics is None else metrics
+
+
+@contextmanager
+def observed(tracer=None, metrics=None):
+    """Scope with the given tracer/metrics as the ambient default."""
+    tracer = Tracer() if tracer is None else tracer
+    metrics = MetricsRegistry() if metrics is None else metrics
+    previous = (_ambient_tracer, _ambient_metrics)
+    set_ambient(tracer, metrics)
+    try:
+        yield tracer, metrics
+    finally:
+        set_ambient(*previous)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "NullTracer",
+    "NULL_TRACER",
+    "PID_DEVICE",
+    "PID_HOST",
+    "PID_RUNTIME",
+    "PID_SM",
+    "Tracer",
+    "observed",
+    "resolve_metrics",
+    "resolve_tracer",
+    "set_ambient",
+]

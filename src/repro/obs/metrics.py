@@ -1,0 +1,209 @@
+"""Metrics registry: counters, gauges, and running-stat histograms.
+
+A :class:`MetricsRegistry` is a flat, name-keyed bag of instruments.
+Simulation components increment counters and observe histograms as they
+work; :meth:`MetricsRegistry.snapshot` freezes everything into a plain
+dictionary for the JSON sidecar written next to a trace.
+
+Like the tracer, there is a zero-cost no-op twin
+(:class:`NullMetrics`): its instrument accessors return one shared
+object whose mutators do nothing, so instrumented code reads
+identically whether metrics are collected or not.  Histograms keep
+running statistics (count/total/min/max) rather than raw samples, so
+observation cost is O(1) and bounded regardless of run size.
+"""
+
+import json
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins sample."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+
+    def set_max(self, value):
+        self.value = max(self.value, float(value))
+
+
+class Histogram:
+    """Running statistics over observed samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by dotted names."""
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, name, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                "metric {!r} is a {}, not a {}".format(
+                    name, type(instrument).__name__, kind.__name__
+                )
+            )
+        return instrument
+
+    def counter(self, name) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name) -> Histogram:
+        return self._get(name, Histogram)
+
+    # convenience mutators ---------------------------------------------
+    def inc(self, name, amount=1.0):
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name, value):
+        self.gauge(name).set(value)
+
+    def observe(self, name, value):
+        self.histogram(name).observe(value)
+
+    # export -----------------------------------------------------------
+    def snapshot(self):
+        """Freeze to ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        counters, gauges, histograms = {}, {}, {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = instrument.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def to_json(self, indent=2):
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def write(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+        return path
+
+
+class _NullInstrument:
+    """Stands in for Counter, Gauge, and Histogram at once."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount=1.0):
+        pass
+
+    def set(self, value):
+        pass
+
+    def set_max(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def summary(self):
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """No-op registry with the full :class:`MetricsRegistry` API."""
+
+    enabled = False
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name):
+        return _NULL_INSTRUMENT
+
+    def inc(self, name, amount=1.0):
+        pass
+
+    def set_gauge(self, name, value):
+        pass
+
+    def observe(self, name, value):
+        pass
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent=2):
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def write(self, path):
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+        return path
+
+
+#: shared no-op instance — the default everywhere metrics are optional
+NULL_METRICS = NullMetrics()

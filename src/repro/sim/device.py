@@ -16,6 +16,7 @@ deterministic.
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import PID_DEVICE, resolve_metrics, resolve_tracer
 from repro.sim.config import GPUConfig
 
 
@@ -32,16 +33,34 @@ class SMState:
 
 
 class Device:
-    """Occupancy bookkeeping plus the running-TB concurrency integral."""
+    """Occupancy bookkeeping plus the running-TB concurrency integral.
 
-    def __init__(self, config: GPUConfig):
+    With a tracer attached, every placement/release also emits a
+    ``running_tbs`` counter sample on the simulated clock, so Perfetto
+    renders the SM-occupancy profile alongside the kernel spans.
+    Tracing is observation only and never changes placement decisions.
+    """
+
+    def __init__(self, config: GPUConfig, tracer=None, metrics=None):
         self.config = config
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
         self.sms = [SMState(i) for i in range(config.num_sms)]
         self.running = 0
         self._last_event_ns = 0.0
         self.concurrency_integral = 0.0
         self.busy_ns = 0.0
         self.peak_concurrency = 0
+        self.placements = 0
+
+    def _sample_occupancy(self, now_ns):
+        self.tracer.counter(
+            "running_tbs",
+            {"running": self.running},
+            ts_us=now_ns / 1e3,
+            cat="device",
+            pid=PID_DEVICE,
+        )
 
     # ------------------------------------------------------------------
     def _advance(self, now_ns):
@@ -82,7 +101,10 @@ class Device:
         best.resident_tbs += 1
         best.resident_threads += threads_per_tb
         self.running += 1
+        self.placements += 1
         self.peak_concurrency = max(self.peak_concurrency, self.running)
+        if self.tracer.enabled:
+            self._sample_occupancy(now_ns)
         return best.index
 
     def release(self, sm_index, threads_per_tb, now_ns):
@@ -93,7 +115,15 @@ class Device:
         sm.resident_tbs -= 1
         sm.resident_threads -= threads_per_tb
         self.running -= 1
+        if self.tracer.enabled:
+            self._sample_occupancy(now_ns)
 
     def finalize(self, now_ns):
         """Close the concurrency integral at end of simulation."""
         self._advance(now_ns)
+        m = self.metrics
+        if m.enabled:
+            m.set_gauge("device.peak_tb_concurrency", self.peak_concurrency)
+            m.set_gauge("device.busy_ns", self.busy_ns)
+            m.set_gauge("device.concurrency_integral", self.concurrency_integral)
+            m.inc("device.tb_placements", self.placements)

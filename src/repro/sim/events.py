@@ -10,10 +10,16 @@ import itertools
 
 
 class EventQueue:
+    """The queue also keeps two free observability counters — events
+    ``processed`` and ``peak_pending`` heap depth — cheap integers the
+    engine copies into a metrics registry after the run."""
+
     def __init__(self):
         self._heap = []
         self._seq = itertools.count()
         self._now = 0.0
+        self.processed = 0
+        self.peak_pending = 0
 
     @property
     def now(self):
@@ -33,6 +39,8 @@ class EventQueue:
                 "cannot schedule event at {} before now {}".format(time, self._now)
             )
         heapq.heappush(self._heap, (float(time), next(self._seq), callback))
+        if len(self._heap) > self.peak_pending:
+            self.peak_pending = len(self._heap)
 
     def schedule_after(self, delay, callback):
         self.schedule(self._now + delay, callback)
@@ -43,6 +51,7 @@ class EventQueue:
             return False
         time, _seq, callback = heapq.heappop(self._heap)
         self._now = time
+        self.processed += 1
         callback()
         return True
 

@@ -29,6 +29,8 @@ class TBRecord:
     ready_ns: float
     start_ns: float
     finish_ns: float
+    #: SM the block ran on (-1 when the engine did not record it)
+    sm: int = -1
 
     @property
     def duration_ns(self):
@@ -128,6 +130,14 @@ class RunStats:
         if self.graph_plain_bytes <= 0:
             return None
         return self.graph_encoded_bytes / self.graph_plain_bytes
+
+    def to_dict(self, include_tb_records=False):
+        """JSON-safe dictionary form — the one serializer shared by
+        ``repro run --json``, ``repro trace`` sidecars, and the
+        experiment report artifacts (see :mod:`repro.obs.report`)."""
+        from repro.obs.report import run_stats_dict
+
+        return run_stats_dict(self, include_tb_records=include_tb_records)
 
     def validate_invariants(self):
         """Sanity checks every correct simulation must satisfy."""

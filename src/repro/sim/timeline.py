@@ -40,7 +40,7 @@ def render_kernel_timeline(stats: RunStats, width=72, label_width=16):
         first = kr.first_tb_start_ns or kr.resident_ns
         _fill(row, col(kr.resident_ns), col(first), WAIT_CHAR)
         _fill(row, col(first), col(kr.all_tbs_done_ns) + 1, RUN_CHAR)
-        label = "k{} {}".format(kr.index, kr.name)[:label_width]
+        label = _truncate_label("k{} {}".format(kr.index, kr.name), label_width)
         lines.append("{:<{w}s} |{}".format(label, "".join(row), w=label_width))
     axis = "{:<{w}s}  0us{}{:.1f}us".format(
         "", " " * (width - 12), span / 1000.0, w=label_width
@@ -88,6 +88,17 @@ def compare_timelines(list_of_stats, width=72):
         )
         blocks.append(render_kernel_timeline(stats, width=width))
     return "\n".join(blocks)
+
+
+def _truncate_label(label, width):
+    """Fit ``label`` into ``width`` columns, marking truncation with an
+    ellipsis so over-long kernel names can never widen (and misalign)
+    the raster."""
+    if len(label) <= width:
+        return label
+    if width <= 1:
+        return label[:width]
+    return label[: width - 1] + "…"
 
 
 def _fill(row, start, end, char):

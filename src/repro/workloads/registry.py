@@ -127,8 +127,9 @@ def all_workloads():
 
 
 def get_workload(name) -> WorkloadSpec:
+    """Look up a benchmark by name (case-insensitive: ``MVT`` == ``mvt``)."""
     try:
-        return _BY_NAME[name]
+        return _BY_NAME[str(name).lower()]
     except KeyError:
         raise KeyError(
             "unknown workload {!r}; available: {}".format(

@@ -1,0 +1,94 @@
+"""Regression tests for timeline label truncation and degenerate runs."""
+
+from repro.sim.stats import KernelRecord, RunStats, TBRecord
+from repro.sim.timeline import (
+    _truncate_label,
+    render_concurrency_profile,
+    render_kernel_timeline,
+)
+
+
+def _stats(kernel_records, tb_records=(), makespan_ns=None):
+    if makespan_ns is None:
+        makespan_ns = max(
+            (kr.all_tbs_done_ns for kr in kernel_records), default=0.0
+        )
+    return RunStats(
+        model="test",
+        application="tl",
+        makespan_ns=makespan_ns,
+        kernel_records=list(kernel_records),
+        tb_records=list(tb_records),
+    )
+
+
+def _kernel(index, name, start=0.0, end=1000.0, tbs=1):
+    return KernelRecord(
+        index=index,
+        name=name,
+        num_tbs=tbs,
+        queued_ns=start,
+        launch_begin_ns=start,
+        resident_ns=start + (end - start) * 0.1,
+        first_tb_start_ns=start + (end - start) * 0.2,
+        all_tbs_done_ns=end,
+        completed_ns=end,
+    )
+
+
+class TestLabelTruncation:
+    def test_short_label_unchanged(self):
+        assert _truncate_label("k0 mvt", 16) == "k0 mvt"
+
+    def test_long_label_truncated_with_ellipsis(self):
+        label = _truncate_label("k0 " + "x" * 40, 16)
+        assert len(label) == 16
+        assert label.endswith("…")
+        assert label.startswith("k0 xxx")
+
+    def test_exact_width_not_truncated(self):
+        label = "a" * 16
+        assert _truncate_label(label, 16) == label
+
+    def test_tiny_width(self):
+        assert _truncate_label("abcdef", 1) == "a"
+        assert _truncate_label("abcdef", 0) == ""
+
+    def test_overlong_kernel_name_keeps_raster_aligned(self):
+        long_name = "persistent_megakernel_with_a_very_long_name"
+        stats = _stats([_kernel(0, "short"), _kernel(1, long_name)])
+        lines = render_kernel_timeline(stats, width=40, label_width=12).split("\n")
+        rows = [line for line in lines if "|" in line]
+        assert len(rows) == 2
+        # every raster starts at the same column regardless of name length
+        assert len({line.index("|") for line in rows}) == 1
+        assert "…" in rows[1]
+
+
+class TestDegenerateRuns:
+    def test_single_kernel_run_renders(self):
+        stats = _stats(
+            [_kernel(0, "solo", end=2000.0)],
+            [TBRecord(0, 0, 0.0, 200.0, 2000.0)],
+        )
+        text = render_kernel_timeline(stats)
+        assert "k0 solo" in text
+        assert "legend:" in text
+        assert render_concurrency_profile(stats)
+
+    def test_zero_duration_run_renders(self):
+        stats = _stats(
+            [_kernel(0, "empty", start=0.0, end=0.0)],
+            [TBRecord(0, 0, 0.0, 0.0, 0.0)],
+            makespan_ns=0.0,
+        )
+        # must not divide by zero or emit an unbounded raster
+        text = render_kernel_timeline(stats)
+        assert "k0 empty" in text
+        profile = render_concurrency_profile(stats)
+        assert "peak" in profile
+
+    def test_no_kernels_placeholder(self):
+        stats = _stats([])
+        assert render_kernel_timeline(stats) == "(no kernels)"
+        assert render_concurrency_profile(stats) == "(no thread blocks)"
