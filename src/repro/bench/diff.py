@@ -1,0 +1,183 @@
+"""Bench report differ: banded wall clock, zero-tolerance simulated.
+
+Two failure classes, deliberately asymmetric:
+
+* **Wall clock** is hardware- and load-dependent, so total-time p50s
+  are compared inside a relative *tolerance band* (default ±25%) with
+  an absolute floor (default 10 ms) below which changes are ignored —
+  a 2 ms workload doubling to 4 ms is noise, not a regression.
+  Per-phase deltas are reported for attribution but only the total
+  gates.
+* **Simulated metrics** come from a deterministic timing model: the
+  same code on the same workload must reproduce them bit-for-bit.
+  *Any* difference — makespan, stall quartiles, DLB/PCB counters — is
+  drift and fails the diff with zero tolerance, because it means the
+  reproduced paper numbers (Fig. 9/10/11) silently changed.
+
+``diff_reports`` returns a :class:`DiffResult`; ``DiffResult.failed``
+drives the CLI exit code (0 clean, 1 regression/drift).
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One observed difference between the two reports."""
+
+    workload: str
+    model: str
+    metric: str       # "wall.total_s", "wall.phases.simulate", "simulated.makespan_ns", ...
+    before: object
+    after: object
+    kind: str         # "wall" | "phase" | "simulated" | "coverage"
+
+    @property
+    def ratio(self):
+        if isinstance(self.before, (int, float)) and self.before:
+            return self.after / self.before
+        return None
+
+    def describe(self):
+        if self.kind == "coverage":
+            return "{}/{}: {} ({} -> {})".format(
+                self.workload, self.model, self.metric, self.before, self.after
+            )
+        ratio = self.ratio
+        arrow = "{} -> {}".format(_fmt(self.before), _fmt(self.after))
+        if ratio is not None:
+            arrow += " ({:+.1f}%)".format((ratio - 1.0) * 100)
+        return "{}/{} {}: {}".format(self.workload, self.model, self.metric, arrow)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "{:.6g}".format(value)
+    return str(value)
+
+
+@dataclass
+class DiffResult:
+    regressions: List[Delta] = field(default_factory=list)   # wall, over band
+    improvements: List[Delta] = field(default_factory=list)  # wall, under band
+    drift: List[Delta] = field(default_factory=list)         # simulated, any
+    phase_deltas: List[Delta] = field(default_factory=list)  # informational
+    missing: List[Delta] = field(default_factory=list)       # coverage shrank
+    added: List[Delta] = field(default_factory=list)         # coverage grew
+    compared: int = 0
+
+    def failed(self, strict=False):
+        """True when the diff should exit non-zero."""
+        if self.regressions or self.drift:
+            return True
+        return bool(strict and self.missing)
+
+
+def _model_entries(report):
+    """Flatten a report to ``{(workload, model): entry}``."""
+    entries = {}
+    for wname, wentry in report.get("workloads", {}).items():
+        for mname, mentry in wentry.get("models", {}).items():
+            entries[(wname, mname)] = mentry
+    return entries
+
+
+def diff_reports(old, new, tolerance=0.25, min_seconds=0.010):
+    """Compare two validated bench reports (``old`` is the reference).
+
+    ``tolerance`` is the relative wall-clock band (0.25 = ±25%);
+    ``min_seconds`` is the absolute floor a total must move by before a
+    band violation counts.  Simulated metrics ignore both knobs.
+    """
+    result = DiffResult()
+    old_entries = _model_entries(old)
+    new_entries = _model_entries(new)
+    for key in sorted(old_entries.keys() - new_entries.keys()):
+        result.missing.append(
+            Delta(key[0], key[1], "entry", "present", "missing", "coverage")
+        )
+    for key in sorted(new_entries.keys() - old_entries.keys()):
+        result.added.append(
+            Delta(key[0], key[1], "entry", "missing", "present", "coverage")
+        )
+    for key in sorted(old_entries.keys() & new_entries.keys()):
+        wname, mname = key
+        before, after = old_entries[key], new_entries[key]
+        result.compared += 1
+
+        # wall clock: banded comparison of the total's p50
+        old_p50 = before["wall"]["total_s"]["p50"]
+        new_p50 = after["wall"]["total_s"]["p50"]
+        delta = Delta(wname, mname, "wall.total_s.p50", old_p50, new_p50, "wall")
+        if abs(new_p50 - old_p50) >= min_seconds:
+            if new_p50 > old_p50 * (1.0 + tolerance):
+                result.regressions.append(delta)
+            elif new_p50 < old_p50 * (1.0 - tolerance):
+                result.improvements.append(delta)
+
+        # phases: informational attribution, never gate on their own
+        old_phases = before["wall"].get("phases", {})
+        new_phases = after["wall"].get("phases", {})
+        for phase in sorted(old_phases.keys() & new_phases.keys()):
+            a, b = old_phases[phase]["p50"], new_phases[phase]["p50"]
+            if abs(b - a) >= min_seconds and (
+                b > a * (1.0 + tolerance) or b < a * (1.0 - tolerance)
+            ):
+                result.phase_deltas.append(
+                    Delta(wname, mname, "wall.phases.{}.p50".format(phase),
+                          a, b, "phase")
+                )
+
+        # simulated metrics: deterministic model, zero tolerance
+        old_sim = before.get("simulated", {})
+        new_sim = after.get("simulated", {})
+        for metric in sorted(old_sim.keys() | new_sim.keys()):
+            a = old_sim.get(metric)
+            b = new_sim.get(metric)
+            if a != b:
+                result.drift.append(
+                    Delta(wname, mname, "simulated.{}".format(metric),
+                          a, b, "simulated")
+                )
+    return result
+
+
+def format_diff(result, tolerance=0.25, strict=False):
+    """Human-readable diff summary, regressions first."""
+    lines = []
+    if result.drift:
+        lines.append(
+            "SIMULATED DRIFT (zero tolerance — deterministic model changed):"
+        )
+        lines.extend("  " + delta.describe() for delta in result.drift)
+    if result.regressions:
+        lines.append(
+            "WALL-CLOCK REGRESSIONS (over the +{:.0f}% band):".format(
+                tolerance * 100
+            )
+        )
+        lines.extend("  " + delta.describe() for delta in result.regressions)
+    if result.phase_deltas:
+        lines.append("phase attribution (informational):")
+        lines.extend("  " + delta.describe() for delta in result.phase_deltas)
+    if result.improvements:
+        lines.append("wall-clock improvements:")
+        lines.extend("  " + delta.describe() for delta in result.improvements)
+    if result.missing:
+        lines.append(
+            "missing entries ({}):".format(
+                "failure: --strict" if strict else "warning"
+            )
+        )
+        lines.extend("  " + delta.describe() for delta in result.missing)
+    if result.added:
+        lines.append("new entries:")
+        lines.extend("  " + delta.describe() for delta in result.added)
+    verdict = "FAIL" if result.failed(strict=strict) else "OK"
+    lines.append(
+        "bench diff: {} ({} entries compared, {} regressions, {} drift)".format(
+            verdict, result.compared, len(result.regressions), len(result.drift)
+        )
+    )
+    return "\n".join(lines)

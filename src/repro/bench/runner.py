@@ -1,0 +1,287 @@
+"""Benchmark suite runner: wall-clock percentiles + simulated metrics.
+
+For every (workload, model) pair the runner does ``warmup`` throwaway
+passes and then ``repeats`` measured passes.  Each pass is *cold*: the
+workload is rebuilt from PTX, re-planned, and re-simulated under a
+fresh :class:`~repro.obs.Tracer` / :class:`~repro.obs.MetricsRegistry`,
+so the wall numbers cover the whole pipeline, attributed to the four
+phases the PR 1 tracer spans already delimit:
+
+* ``parse``    — ``workload.build:*`` (PTX parse + trace construction)
+* ``analyze``  — ``plan.validate`` / ``plan.reorder`` / ``plan.true-deps``
+  / ``plan.analyze`` / ``plan.cross-stream``
+* ``encode``   — ``plan.graphs`` (graph build + pattern encoding)
+* ``simulate`` — ``model:*`` (the discrete-event engine)
+
+Wall clock is noisy, so it is summarized as p50/p95/max/mean over the
+repeats.  Simulated results are deterministic, so they are recorded
+once — and the runner *asserts* every repeat produced the same
+makespan, catching nondeterminism at the source.  ``baseline`` (the
+paper's serialized ``standard`` launch model) is always run so every
+model entry carries ``speedup_vs_baseline``.
+
+``profile=True`` additionally runs one pass per pair under
+:mod:`cProfile` and embeds the top-k cumulative-time hotspots.
+"""
+
+import cProfile
+import os
+import pstats
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.bench import schema
+from repro.core.runtime import BlockMaestroRuntime
+from repro.experiments.common import (
+    STANDARD_MODELS,
+    _make_model,
+    _model_plan_params,
+    canonical_model_name,
+)
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.metrics import percentile
+from repro.obs.report import dump_json
+from repro.workloads import all_workloads, get_workload, matching_workloads
+
+#: the quick suite: the three fastest Table II workloads — used by CI
+QUICK_WORKLOADS = ("mvt", "bicg", "path")
+
+#: default model roster for a bench run: baseline + the headline config
+DEFAULT_MODELS = ("baseline", "prelaunch", "consumer3")
+
+QUICK_MODELS = ("baseline", "consumer3")
+
+ROSTER = tuple(m[0] for m in STANDARD_MODELS)
+
+
+@dataclass
+class BenchConfig:
+    """Everything that shapes one bench run (recorded in the report)."""
+
+    workloads: Tuple[str, ...] = ()
+    models: Tuple[str, ...] = DEFAULT_MODELS
+    repeats: int = 3
+    warmup: int = 1
+    quick: bool = False
+    profile: bool = False
+    profile_top: int = 15
+    filter: Optional[Tuple[str, ...]] = None
+
+    def as_dict(self):
+        return {
+            "workloads": list(self.workloads),
+            "models": list(self.models),
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "quick": self.quick,
+            "profile": self.profile,
+            "filter": list(self.filter) if self.filter else None,
+        }
+
+
+def resolve_config(
+    quick=False,
+    models=None,
+    filter_globs=None,
+    repeats=None,
+    warmup=None,
+    profile=False,
+    profile_top=15,
+):
+    """Fold CLI-ish arguments into a concrete :class:`BenchConfig`.
+
+    Precedence: explicit flags beat ``--quick`` presets beat defaults.
+    ``models`` may include ``"all"`` for the full roster and aliases
+    (``blockmaestro``); names are canonicalized and validated here so
+    unknown ones fail before any work is done.
+    """
+    if filter_globs:
+        specs = matching_workloads(filter_globs)
+        workloads = tuple(spec.name for spec in specs)
+    elif quick:
+        workloads = QUICK_WORKLOADS
+    else:
+        workloads = tuple(spec.name for spec in all_workloads())
+    if models:
+        expanded = []
+        for name in models:
+            if name == "all":
+                expanded.extend(ROSTER)
+            else:
+                expanded.append(canonical_model_name(name))
+        # validate + dedupe, preserving order
+        seen = []
+        for name in expanded:
+            _model_plan_params(name)  # raises UnknownModelError
+            if name not in seen:
+                seen.append(name)
+        model_names = tuple(seen)
+    else:
+        model_names = QUICK_MODELS if quick else DEFAULT_MODELS
+    # baseline is the speedup reference: always present, always first
+    model_names = ("baseline",) + tuple(
+        name for name in model_names if name != "baseline"
+    )
+    return BenchConfig(
+        workloads=workloads,
+        models=model_names,
+        repeats=repeats if repeats is not None else (2 if quick else 3),
+        warmup=warmup if warmup is not None else 1,
+        quick=quick,
+        profile=profile,
+        profile_top=profile_top,
+        filter=tuple(filter_globs) if filter_globs else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# one measured pass
+# ----------------------------------------------------------------------
+def _phase_of(span_name):
+    """Map a PR 1 tracer span name to a bench phase (or ``None``)."""
+    if span_name.startswith("workload.build"):
+        return "parse"
+    if span_name == "plan.graphs":
+        return "encode"
+    if span_name.startswith("plan."):
+        return "analyze"
+    if span_name.startswith("model:"):
+        return "simulate"
+    return None  # plan:<app> outer span would double-count its children
+
+
+def _run_once(spec, model_name):
+    """One cold build+plan+simulate pass under full observation.
+
+    Returns ``(stats, phases_s, total_s, metrics)``.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    start = time.perf_counter()
+    with tracer.span("workload.build:{}".format(spec.name), cat="ptx"):
+        app = spec.build()
+    reorder, window = _model_plan_params(model_name)
+    runtime = BlockMaestroRuntime(tracer=tracer, metrics=metrics)
+    plan = runtime.plan(app, reorder=reorder, window=window)
+    model = _make_model(model_name, runtime.config)
+    stats = model.run(plan, tracer=tracer, metrics=metrics)
+    total_s = time.perf_counter() - start
+    phases = {key: 0.0 for key in schema.PHASE_KEYS}
+    for name, total_us, _count in tracer.wall_phase_totals():
+        phase = _phase_of(name)
+        if phase is not None:
+            phases[phase] += total_us / 1e6
+    return stats, phases, total_s, metrics
+
+
+def _percentile_block(samples):
+    values = sorted(samples)
+    return {
+        "repeats": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 0.50),
+        "p95": percentile(values, 0.95),
+        "max": values[-1],
+    }
+
+
+def _profile_pass(spec, model_name, top):
+    """One extra pass under cProfile; returns the top-k hotspot rows."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run_once(spec, model_name)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        if filename.startswith("<") and func.startswith("<"):
+            continue  # profiler bookkeeping / builtins noise
+        rows.append(
+            {
+                "func": "{}:{}({})".format(os.path.basename(filename), lineno, func),
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda row: (-row["cumtime_s"], row["func"]))
+    return rows[:top]
+
+
+# ----------------------------------------------------------------------
+# the suite
+# ----------------------------------------------------------------------
+def run_suite(config, log=None):
+    """Execute the configured suite; returns the report payload dict."""
+    log = log if log is not None else (lambda msg: print(msg, file=sys.stderr))
+    workloads = {}
+    for wname in config.workloads:
+        spec = get_workload(wname)
+        baseline_stats = None
+        models = {}
+        for mname in config.models:
+            log("bench: {} x {} (warmup {}, repeats {})".format(
+                spec.name, mname, config.warmup, config.repeats))
+            for _ in range(config.warmup):
+                _run_once(spec, mname)
+            totals, phase_samples = [], {key: [] for key in schema.PHASE_KEYS}
+            stats = metrics = None
+            makespans = set()
+            for _ in range(config.repeats):
+                stats, phases, total_s, metrics = _run_once(spec, mname)
+                totals.append(total_s)
+                for key, value in phases.items():
+                    phase_samples[key].append(value)
+                makespans.add(stats.makespan_ns)
+            if len(makespans) != 1:
+                raise AssertionError(
+                    "nondeterministic simulation: {} x {} produced makespans "
+                    "{}".format(spec.name, mname, sorted(makespans))
+                )
+            if mname == "baseline":
+                baseline_stats = stats
+            simulated = stats.simulated_signature()
+            simulated["speedup_vs_baseline"] = (
+                baseline_stats.makespan_ns / stats.makespan_ns
+                if baseline_stats is not None and stats.makespan_ns > 0
+                else 0.0
+            )
+            # DLB/PCB occupancy + traffic counters from the hardware model
+            for name, value in metrics.snapshot()["counters"].items():
+                if name.startswith("hw."):
+                    simulated[name] = value
+            entry = {
+                "wall": {
+                    "total_s": _percentile_block(totals),
+                    "phases": {
+                        key: _percentile_block(samples)
+                        for key, samples in phase_samples.items()
+                    },
+                },
+                "simulated": simulated,
+            }
+            if config.profile:
+                entry["profile"] = _profile_pass(spec, mname, config.profile_top)
+            models[mname] = entry
+        workloads[spec.name] = {"spec": spec.as_dict(), "models": models}
+    return {
+        "kind": schema.REPORT_KIND,
+        "schema_version": schema.SCHEMA_VERSION,
+        "created_utc": schema.utc_timestamp(),
+        "host": schema.host_metadata(),
+        "git": schema.git_metadata(),
+        "config": config.as_dict(),
+        "workloads": workloads,
+    }
+
+
+def write_report(payload, path=None, directory="."):
+    """Write ``BENCH_<UTC-timestamp>.json`` (or an explicit ``path``)."""
+    if path is None:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, schema.bench_filename())
+    return dump_json(payload, path)

@@ -1,0 +1,117 @@
+"""Trend view: fold a directory of ``BENCH_*.json`` into trajectories.
+
+Every committed bench report is one point on the repo's performance
+trajectory.  ``repro bench trend`` collects all ``BENCH_*.json`` files
+in a directory (skipping invalid ones with a warning), orders them by
+``created_utc``, and renders one row per (workload, model) with the
+chosen metric per report — so a perf PR can show its before/after in
+context, and a slow creep across many PRs is visible at a glance.
+"""
+
+import glob
+import os
+import sys
+
+from repro.bench.schema import FILE_PREFIX, load_report
+
+#: metric name -> (extractor(model_entry), column label, formatter)
+METRICS = {
+    "wall": (
+        lambda entry: entry["wall"]["total_s"]["p50"],
+        "total wall p50 [ms]",
+        lambda v: "{:.1f}".format(v * 1e3),
+    ),
+    "makespan": (
+        lambda entry: entry["simulated"]["makespan_ns"],
+        "simulated makespan [us]",
+        lambda v: "{:.1f}".format(v / 1e3),
+    ),
+    "speedup": (
+        lambda entry: entry["simulated"]["speedup_vs_baseline"],
+        "speedup vs baseline",
+        lambda v: "{:.3f}".format(v),
+    ),
+}
+
+
+def find_reports(directory):
+    """``BENCH_*.json`` paths in ``directory``, name-sorted (= by time)."""
+    return sorted(glob.glob(os.path.join(directory, FILE_PREFIX + "*.json")))
+
+
+def load_reports(directory, log=None):
+    """Load + validate every report in ``directory``, oldest first.
+
+    Invalid files are skipped with a one-line warning rather than
+    aborting the whole view — one corrupt artifact must not hide the
+    trajectory.  Returns ``[(path, payload), ...]``.
+    """
+    log = log if log is not None else (lambda msg: print(msg, file=sys.stderr))
+    reports = []
+    for path in find_reports(directory):
+        try:
+            reports.append((path, load_report(path)))
+        except ValueError as exc:
+            log("bench trend: skipping {}".format(exc))
+    reports.sort(key=lambda item: (item[1].get("created_utc", ""), item[0]))
+    return reports
+
+
+def trend_rows(reports, metric="wall"):
+    """Fold reports into ``(header, rows)`` for the trajectory table.
+
+    ``header`` is ``["workload", "model", <stamp>, ...]``; each row maps
+    those columns to formatted values (``-`` where a report lacks the
+    entry).  Raises :class:`KeyError` for an unknown metric name.
+    """
+    try:
+        extract, _label, fmt = METRICS[metric]
+    except KeyError:
+        raise KeyError(
+            "unknown trend metric {!r}; available: {}".format(
+                metric, ", ".join(sorted(METRICS))
+            )
+        ) from None
+    stamps = [_stamp(payload, path) for path, payload in reports]
+    pairs = []  # (workload, model), first-seen order
+    for _path, payload in reports:
+        for wname, wentry in payload.get("workloads", {}).items():
+            for mname in wentry.get("models", {}):
+                if (wname, mname) not in pairs:
+                    pairs.append((wname, mname))
+    rows = []
+    for wname, mname in pairs:
+        row = {"workload": wname, "model": mname}
+        for stamp, (_path, payload) in zip(stamps, reports):
+            entry = (
+                payload.get("workloads", {})
+                .get(wname, {})
+                .get("models", {})
+                .get(mname)
+            )
+            try:
+                row[stamp] = fmt(extract(entry)) if entry else "-"
+            except (KeyError, TypeError):
+                row[stamp] = "-"
+        rows.append(row)
+    return ["workload", "model"] + stamps, rows
+
+
+def _stamp(payload, path):
+    """Short column label: ``08-05 10:15`` from created_utc, else name."""
+    created = payload.get("created_utc", "")
+    if len(created) >= 16:
+        return "{} {}".format(created[5:10], created[11:16])
+    return os.path.basename(path)
+
+
+def format_trend(reports, metric="wall"):
+    """Render the trajectory table for ``repro bench trend``."""
+    from repro.experiments.common import format_table
+
+    if not reports:
+        return "no BENCH_*.json reports found"
+    _extract, label, _fmt = METRICS[metric]
+    header, rows = trend_rows(reports, metric=metric)
+    title = "bench trend: {} across {} reports".format(label, len(reports))
+    return format_table(rows, header, title=title)

@@ -2,7 +2,7 @@
 
 Commands:
 
-* ``list``                          — the benchmark suite (Table II)
+* ``list [--json]``                 — the benchmark suite (Table II)
 * ``analyze <workload>``            — run launch-time analysis, print
                                       per-kernel patterns and storage
 * ``run <workload> [--model M]``    — simulate and print a timeline
@@ -17,14 +17,17 @@ Commands:
 * ``experiments [names...]``        — regenerate paper tables/figures
                                       (``--out DIR`` for JSON reports)
 * ``ablations``                     — the design-choice sweeps
+* ``bench run|diff|trend``          — performance benchmarking and
+                                      regression tracking (see
+                                      ``docs/benchmarking.md``)
 
 Model names accept the roster (``baseline``, ``ideal``, ``prelaunch``,
 ``producer``, ``consumer2``..``consumer4``) plus the ``blockmaestro``
-alias for the headline consumer/window-3 configuration.
+alias for the headline consumer/window-3 configuration.  Unknown
+workload or model names exit with code 2 and a one-line message.
 """
 
 import argparse
-import json
 import sys
 
 from repro.core.runtime import BlockMaestroRuntime
@@ -32,21 +35,25 @@ from repro.experiments.common import (
     MODEL_ALIASES,
     STANDARD_MODELS,
     ExperimentContext,
+    UnknownModelError,
     _make_model,
     _model_plan_params,
     canonical_model_name,
     format_table,
 )
 from repro.obs import MetricsRegistry, Tracer
-from repro.obs.report import format_blame, run_stats_dict
+from repro.obs.report import dump_json, format_blame, run_stats_dict
 from repro.sim.timeline import compare_timelines, render_kernel_timeline
-from repro.workloads import all_workloads, get_workload
+from repro.workloads import UnknownWorkloadError, all_workloads, get_workload
 
 MODEL_NAMES = [m[0] for m in STANDARD_MODELS]
 MODEL_CHOICES = MODEL_NAMES + sorted(MODEL_ALIASES)
 
 
-def cmd_list(_args):
+def cmd_list(args):
+    if getattr(args, "json", None):
+        _emit_json([spec.as_dict() for spec in all_workloads()], args.json)
+        return
     rows = [
         {
             "name": spec.name,
@@ -109,12 +116,8 @@ def cmd_analyze(args):
 
 def _emit_json(payload, destination):
     """Write a JSON payload to stdout (``-``) or a file path."""
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    if destination == "-":
-        print(text)
-    else:
-        with open(destination, "w") as handle:
-            handle.write(text + "\n")
+    dump_json(payload, destination)
+    if destination != "-":
         print("wrote", destination)
 
 
@@ -265,6 +268,88 @@ def cmd_validate(args):
     print("schedules preserve program semantics.")
 
 
+def cmd_bench_run(args):
+    from repro import bench
+
+    config = bench.resolve_config(
+        quick=args.quick,
+        models=args.models,
+        filter_globs=args.filter,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        profile=args.profile,
+        profile_top=args.profile_top,
+    )
+    payload = bench.run_suite(config)
+    errors = bench.validate_report(payload)
+    if errors:  # a schema bug, not a user error — fail loudly
+        raise AssertionError("generated report is invalid: {}".format(errors[:3]))
+    path = bench.write_report(payload, path=args.output, directory=args.out)
+    rows = []
+    for wname, wentry in payload["workloads"].items():
+        for mname, mentry in wentry["models"].items():
+            rows.append(
+                {
+                    "workload": wname,
+                    "model": mname,
+                    "wall_p50_ms": mentry["wall"]["total_s"]["p50"] * 1e3,
+                    "makespan_us": mentry["simulated"]["makespan_ns"] / 1e3,
+                    "speedup": mentry["simulated"]["speedup_vs_baseline"],
+                }
+            )
+    print(
+        format_table(
+            rows,
+            ["workload", "model", "wall_p50_ms", "makespan_us", "speedup"],
+            title="bench run ({} repeats, {} warmup)".format(
+                config.repeats, config.warmup
+            ),
+        )
+    )
+    print("wrote", path)
+
+
+def cmd_bench_diff(args):
+    from repro import bench
+
+    try:
+        old = bench.load_report(args.old)
+        new = bench.load_report(args.new)
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    result = bench.diff_reports(
+        old, new, tolerance=args.tolerance, min_seconds=args.min_seconds
+    )
+    print(bench.format_diff(result, tolerance=args.tolerance, strict=args.strict))
+    return 1 if result.failed(strict=args.strict) else 0
+
+
+def cmd_bench_trend(args):
+    from repro import bench
+    from repro.bench.trend import METRICS
+
+    if args.metric not in METRICS:
+        print(
+            "error: unknown trend metric {!r}; available: {}".format(
+                args.metric, ", ".join(sorted(METRICS))
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    reports = bench.load_reports(args.directory)
+    print(bench.format_trend(reports, metric=args.metric))
+
+
+def cmd_bench(args):
+    handler = {
+        "run": cmd_bench_run,
+        "diff": cmd_bench_diff,
+        "trend": cmd_bench_trend,
+    }[args.bench_command]
+    return handler(args)
+
+
 def cmd_experiments(args):
     from repro.experiments import runner
 
@@ -283,7 +368,15 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the benchmark suite")
+    p_list = sub.add_parser("list", help="list the benchmark suite")
+    p_list.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="machine-readable registry to stdout (no FILE) or FILE",
+    )
 
     p_analyze = sub.add_parser("analyze", help="launch-time analysis report")
     p_analyze.add_argument("workload")
@@ -364,6 +457,80 @@ def build_parser():
     p_val.add_argument("--window", type=int, default=3)
 
     sub.add_parser("ablations", help="design-choice sweeps")
+
+    p_bench = sub.add_parser(
+        "bench", help="performance benchmarking and regression tracking"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser(
+        "run", help="run the suite, write BENCH_<UTC-timestamp>.json"
+    )
+    b_run.add_argument(
+        "--quick",
+        action="store_true",
+        help="3 fast workloads x (baseline, blockmaestro), 2 repeats",
+    )
+    b_run.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        metavar="MODEL",
+        help="roster names / aliases, or 'all' (baseline always included)",
+    )
+    b_run.add_argument(
+        "--filter",
+        nargs="+",
+        default=None,
+        metavar="GLOB",
+        help="workload subset as shell globs (e.g. 'mvt' 'f*')",
+    )
+    b_run.add_argument("--repeats", type=int, default=None, metavar="N")
+    b_run.add_argument("--warmup", type=int, default=None, metavar="N")
+    b_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="embed cProfile top-k cumulative hotspots per workload/model",
+    )
+    b_run.add_argument("--profile-top", type=int, default=15, metavar="K")
+    b_run.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for the timestamped report (default: .)",
+    )
+    b_run.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="explicit report path (overrides --out naming)",
+    )
+
+    b_diff = bench_sub.add_parser(
+        "diff", help="compare two reports; non-zero exit on regression"
+    )
+    b_diff.add_argument("old", help="reference BENCH_*.json")
+    b_diff.add_argument("new", help="candidate BENCH_*.json")
+    b_diff.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="relative wall-clock noise band (default 0.25 = +/-25%%)",
+    )
+    b_diff.add_argument(
+        "--min-seconds", type=float, default=0.010, metavar="S",
+        help="ignore wall deltas smaller than this (default 10ms)",
+    )
+    b_diff.add_argument(
+        "--strict", action="store_true",
+        help="also fail when entries present in OLD are missing from NEW",
+    )
+
+    b_trend = bench_sub.add_parser(
+        "trend", help="per-workload trajectory across all BENCH_*.json"
+    )
+    b_trend.add_argument(
+        "directory", nargs="?", default=".",
+        help="where to look for BENCH_*.json (default: .)",
+    )
+    b_trend.add_argument(
+        "--metric", default="wall", metavar="NAME",
+        help="wall | makespan | speedup (default: wall)",
+    )
     return parser
 
 
@@ -378,13 +545,19 @@ COMMANDS = {
     "blame": cmd_blame,
     "experiments": cmd_experiments,
     "ablations": cmd_ablations,
+    "bench": cmd_bench,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
     try:
-        COMMANDS[args.command](args)
+        return COMMANDS[args.command](args) or 0
+    except (UnknownWorkloadError, UnknownModelError) as exc:
+        # user typo'd a name: one line, exit 2, no traceback
+        message = exc.args[0] if exc.args else str(exc)
+        print("error: {}".format(message), file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # stdout consumer (e.g. `| head`) went away; not an error
         try:

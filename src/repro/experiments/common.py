@@ -13,7 +13,7 @@ from repro.models import (
     SerializedBaseline,
 )
 from repro.sim.config import GPUConfig
-from repro.workloads import all_workloads
+from repro.workloads import UnknownWorkloadError, all_workloads
 
 #: The Fig. 9 model roster: (name, factory(gpu_config), reorder, window)
 STANDARD_MODELS = (
@@ -28,6 +28,21 @@ STANDARD_MODELS = (
 
 #: convenience names accepted anywhere a roster model is named
 MODEL_ALIASES = {"blockmaestro": "consumer3", "bm": "consumer3"}
+
+
+class UnknownModelError(KeyError):
+    """A model name is not in the roster (nor an alias).
+
+    Subclasses :class:`KeyError` for backward compatibility; the CLI
+    maps it to exit code 2 with a one-line message.
+    """
+
+
+def _unknown_model(name):
+    roster = ", ".join([m[0] for m in STANDARD_MODELS] + sorted(MODEL_ALIASES))
+    return UnknownModelError(
+        "unknown model {!r}; available: {}".format(name, roster)
+    )
 
 
 def canonical_model_name(name):
@@ -51,14 +66,17 @@ def _make_model(name, gpu_config):
             name="producer",
         )
     if name.startswith("consumer"):
-        window = int(name[len("consumer"):])
+        try:
+            window = int(name[len("consumer"):])
+        except ValueError:
+            raise _unknown_model(name) from None
         return BlockMaestroModel(
             gpu_config,
             window=window,
             policy=SchedulingPolicy.CONSUMER_PRIORITY,
             name=name,
         )
-    raise KeyError("unknown model %r" % name)
+    raise _unknown_model(name)
 
 
 @dataclass
@@ -89,7 +107,7 @@ class ExperimentContext:
                     self._apps[key] = spec.build(**overrides)
                     break
             else:
-                raise KeyError("unknown workload %r" % name)
+                raise UnknownWorkloadError("unknown workload %r" % name)
         return self._apps[key]
 
     def register_app(self, app):
@@ -126,7 +144,7 @@ def _model_plan_params(model_name):
     for name, _factory, reorder, window in STANDARD_MODELS:
         if name == model_name:
             return reorder, window
-    raise KeyError("unknown model %r" % model_name)
+    raise _unknown_model(model_name)
 
 
 def geomean(values):

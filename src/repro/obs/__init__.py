@@ -33,6 +33,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     NULL_METRICS,
+    percentile,
 )
 from repro.obs.tracer import (
     NullTracer,
@@ -93,6 +94,7 @@ __all__ = [
     "PID_SM",
     "Tracer",
     "observed",
+    "percentile",
     "resolve_metrics",
     "resolve_tracer",
     "set_ambient",

@@ -9,11 +9,32 @@ Like the tracer, there is a zero-cost no-op twin
 (:class:`NullMetrics`): its instrument accessors return one shared
 object whose mutators do nothing, so instrumented code reads
 identically whether metrics are collected or not.  Histograms keep
-running statistics (count/total/min/max) rather than raw samples, so
-observation cost is O(1) and bounded regardless of run size.
+running statistics (count/total/min/max) plus a bounded reservoir of
+samples, so observation cost is O(1) and memory stays bounded
+regardless of run size while tail percentiles (p50/p95/p99) remain
+quotable in bench reports and ``blame`` output.
 """
 
 import json
+import random
+
+
+def percentile(sorted_values, q):
+    """Linear-interpolation percentile of an already-sorted sequence.
+
+    The single quantile definition shared by histogram summaries,
+    :meth:`repro.sim.stats.RunStats.stall_quartiles`, and the bench
+    runner's wall-clock percentile blocks.
+    """
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
 
 
 class Counter:
@@ -44,15 +65,29 @@ class Gauge:
 
 
 class Histogram:
-    """Running statistics over observed samples."""
+    """Running statistics plus a bounded sample reservoir.
 
-    __slots__ = ("count", "total", "min", "max")
+    Exact count/total/min/max/mean are maintained incrementally; a
+    reservoir of up to ``reservoir_size`` samples (algorithm R, seeded
+    deterministically so identical observation sequences always yield
+    identical percentiles) supports approximate p50/p95/p99.  Below
+    ``reservoir_size`` observations the percentiles are exact.
+    """
 
-    def __init__(self):
+    __slots__ = ("count", "total", "min", "max", "_capacity", "_samples", "_rng")
+
+    #: default reservoir capacity — memory stays bounded for any run size
+    RESERVOIR_SIZE = 4096
+
+    def __init__(self, reservoir_size=None):
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        self._capacity = self.RESERVOIR_SIZE if reservoir_size is None else reservoir_size
+        self._samples = []
+        # fixed seed: same observations -> same reservoir -> same percentiles
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value):
         value = float(value)
@@ -62,18 +97,39 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if len(self._samples) < self._capacity:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._samples[slot] = value
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def num_samples(self):
+        """Samples currently held in the reservoir (<= count)."""
+        return len(self._samples)
+
+    def percentile(self, q):
+        """Reservoir percentile at quantile ``q`` (``None`` when empty)."""
+        if not self._samples:
+            return None
+        return percentile(sorted(self._samples), q)
+
     def summary(self):
+        ordered = sorted(self._samples)
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": percentile(ordered, 0.50) if ordered else None,
+            "p95": percentile(ordered, 0.95) if ordered else None,
+            "p99": percentile(ordered, 0.99) if ordered else None,
         }
 
 
@@ -150,9 +206,13 @@ class _NullInstrument:
     min = None
     max = None
     mean = 0.0
+    num_samples = 0
 
     def inc(self, amount=1.0):
         pass
+
+    def percentile(self, q):
+        return None
 
     def set(self, value):
         pass

@@ -15,6 +15,23 @@ tracer was attached, launch-time pipeline phases (real wall clock).
 
 import json
 import os
+import sys
+
+
+def dump_json(payload, destination, indent=2, sort_keys=True):
+    """The one JSON writer: ``-`` for stdout, else a file path.
+
+    Shared by the CLI ``--json`` flags and the bench report writer so
+    every artifact is serialized the same way (stable key order,
+    trailing newline).  Returns ``destination``.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    if destination == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+    return destination
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,8 @@ paper's metrics derive:
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import percentile
+
 
 @dataclass
 class TBRecord:
@@ -112,9 +114,9 @@ class RunStats:
         if not values:
             return (0.0, 0.0, 0.0)
         return (
-            _quantile(values, 0.25),
-            _quantile(values, 0.50),
-            _quantile(values, 0.75),
+            percentile(values, 0.25),
+            percentile(values, 0.50),
+            percentile(values, 0.75),
         )
 
     def memory_overhead_fraction(self):
@@ -139,6 +141,32 @@ class RunStats:
 
         return run_stats_dict(self, include_tb_records=include_tb_records)
 
+    def simulated_signature(self):
+        """Flat dict of the run's simulated metrics, for exact comparison.
+
+        The timing model is deterministic, so two runs of the same code
+        on the same workload must agree on every one of these values
+        bit-for-bit — ``repro bench diff`` enforces that with zero
+        tolerance.  Keep this free of anything wall-clock dependent.
+        """
+        q1, median, q3 = self.stall_quartiles()
+        return {
+            "makespan_ns": self.makespan_ns,
+            "busy_ns": self.busy_ns,
+            "concurrency_integral": self.concurrency_integral,
+            "avg_tb_concurrency": self.avg_tb_concurrency(),
+            "num_tbs": len(self.tb_records),
+            "num_kernels": len(self.kernel_records),
+            "stall_q1": q1,
+            "stall_median": median,
+            "stall_q3": q3,
+            "kernel_memory_requests": self.kernel_memory_requests,
+            "dependency_memory_requests": self.dependency_memory_requests,
+            "memory_overhead_fraction": self.memory_overhead_fraction(),
+            "graph_plain_bytes": self.graph_plain_bytes,
+            "graph_encoded_bytes": self.graph_encoded_bytes,
+        }
+
     def validate_invariants(self):
         """Sanity checks every correct simulation must satisfy."""
         for tb in self.tb_records:
@@ -160,16 +188,3 @@ class RunStats:
                 )
             previous_completion[kr.stream] = kr.completed_ns
         return self
-
-
-def _quantile(sorted_values, q):
-    """Linear-interpolation quantile of an already sorted list."""
-    if not sorted_values:
-        return 0.0
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    pos = q * (len(sorted_values) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(sorted_values) - 1)
-    frac = pos - lo
-    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac

@@ -28,17 +28,21 @@ wavefront applications for the Wireframe/CDP comparison (Fig. 14).
 
 from repro.workloads.base import Application, AppBuilder
 from repro.workloads.registry import (
+    UnknownWorkloadError,
     WorkloadSpec,
     all_workloads,
     get_workload,
+    matching_workloads,
     workload_names,
 )
 
 __all__ = [
     "Application",
     "AppBuilder",
+    "UnknownWorkloadError",
     "WorkloadSpec",
     "all_workloads",
     "get_workload",
+    "matching_workloads",
     "workload_names",
 ]

@@ -1,7 +1,16 @@
 """Workload registry: the paper's Table II benchmark suite by name."""
 
+import fnmatch
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Tuple
+
+
+class UnknownWorkloadError(KeyError):
+    """A workload name (or ``--filter`` glob) matched nothing.
+
+    Subclasses :class:`KeyError` for backward compatibility; the CLI
+    maps it to exit code 2 with a one-line message.
+    """
 
 from repro.workloads.polybench import (
     build_3mm,
@@ -45,6 +54,16 @@ class WorkloadSpec:
         params = dict(self.small_overrides)
         params.update(extra)
         return self.builder(**params)
+
+    def as_dict(self):
+        """JSON-safe registry row (``repro list --json``, bench reports)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "suite": self.suite,
+            "paper_kernels": self.paper_kernels,
+            "paper_patterns": list(self.paper_patterns),
+        }
 
 
 _SPECS = (
@@ -131,8 +150,31 @@ def get_workload(name) -> WorkloadSpec:
     try:
         return _BY_NAME[str(name).lower()]
     except KeyError:
-        raise KeyError(
+        raise UnknownWorkloadError(
             "unknown workload {!r}; available: {}".format(
                 name, ", ".join(workload_names())
             )
         ) from None
+
+
+def matching_workloads(patterns):
+    """Specs whose names match any shell-style glob, in Table II order.
+
+    Patterns are case-insensitive (``MVT``, ``f*``, ``?s`` all work).
+    Raises :class:`UnknownWorkloadError` when nothing matches, so CLI
+    callers fail fast with exit code 2 instead of running an empty
+    suite.
+    """
+    lowered = [str(pattern).lower() for pattern in patterns]
+    chosen = [
+        spec
+        for spec in _SPECS
+        if any(fnmatch.fnmatchcase(spec.name, pattern) for pattern in lowered)
+    ]
+    if not chosen:
+        raise UnknownWorkloadError(
+            "no workload matches {!r}; available: {}".format(
+                " ".join(str(p) for p in patterns), ", ".join(workload_names())
+            )
+        )
+    return chosen

@@ -7,6 +7,7 @@ import pytest
 from repro.core.runtime import BlockMaestroRuntime
 from repro.models import BlockMaestroModel
 from repro.obs import (
+    Histogram,
     MetricsRegistry,
     NULL_METRICS,
     NULL_TRACER,
@@ -165,6 +166,42 @@ class TestNullTwins:
         assert resolve_tracer(None) is NULL_TRACER
         assert resolve_metrics(None) is NULL_METRICS
 
+    def test_observed_nesting_restores_each_level(self):
+        outer_t, outer_m = Tracer(clock=FakeClock()), MetricsRegistry()
+        inner_t, inner_m = Tracer(clock=FakeClock()), MetricsRegistry()
+        with observed(outer_t, outer_m):
+            with observed(inner_t, inner_m):
+                assert resolve_tracer(None) is inner_t
+                assert resolve_metrics(None) is inner_m
+            # popping the inner scope restores the outer pair, not null
+            assert resolve_tracer(None) is outer_t
+            assert resolve_metrics(None) is outer_m
+        assert resolve_tracer(None) is NULL_TRACER
+        assert resolve_metrics(None) is NULL_METRICS
+
+    def test_observed_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with observed(Tracer(clock=FakeClock()), MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert resolve_tracer(None) is NULL_TRACER
+        assert resolve_metrics(None) is NULL_METRICS
+
+    def test_observed_nested_exception_restores_outer(self):
+        outer_t, outer_m = Tracer(clock=FakeClock()), MetricsRegistry()
+        with observed(outer_t, outer_m):
+            with pytest.raises(ValueError):
+                with observed(Tracer(clock=FakeClock()), MetricsRegistry()):
+                    raise ValueError("inner boom")
+            assert resolve_tracer(None) is outer_t
+            assert resolve_metrics(None) is outer_m
+        assert resolve_tracer(None) is NULL_TRACER
+
+    def test_observed_defaults_construct_fresh_instances(self):
+        with observed() as (tracer, metrics):
+            assert isinstance(tracer, Tracer)
+            assert isinstance(metrics, MetricsRegistry)
+        assert resolve_tracer(None) is NULL_TRACER
+
 
 class TestMetricsRegistry:
     def test_counters_gauges_histograms(self):
@@ -187,6 +224,46 @@ class TestMetricsRegistry:
         registry.counter("x")
         with pytest.raises(TypeError):
             registry.gauge("x")
+
+    def test_histogram_percentiles_exact_below_reservoir(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(1.0) == 100.0
+
+    def test_histogram_percentiles_empty_and_single(self):
+        hist = Histogram()
+        assert hist.percentile(0.5) is None
+        assert hist.summary()["p50"] is None
+        hist.observe(7.0)
+        assert hist.percentile(0.5) == 7.0
+        assert hist.summary()["p95"] == 7.0
+
+    def test_histogram_reservoir_bounded_and_deterministic(self):
+        a = Histogram(reservoir_size=256)
+        b = Histogram(reservoir_size=256)
+        for value in range(20_000):
+            a.observe(value)
+            b.observe(value)
+        assert a.num_samples == 256  # memory stays bounded
+        assert a.count == 20_000     # exact stats unaffected
+        # fixed seed: identical observation sequences -> identical summaries
+        assert a.summary() == b.summary()
+        # reservoir median lands near the true median
+        assert a.summary()["p50"] == pytest.approx(10_000, rel=0.15)
+
+    def test_percentile_helper_shared_with_stats(self):
+        from repro.obs.metrics import percentile
+        from repro.sim import stats as sim_stats
+
+        assert sim_stats.percentile is percentile
+        assert percentile([], 0.5) == 0.0
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
 
     def test_write_is_valid_json(self, tmp_path):
         registry = MetricsRegistry()

@@ -6,7 +6,8 @@ from repro.sim.config import GPUConfig
 from repro.sim.cost import CostModel
 from repro.sim.device import Device
 from repro.sim.events import EventQueue
-from repro.sim.stats import KernelRecord, RunStats, TBRecord, _quantile
+from repro.obs.metrics import percentile
+from repro.sim.stats import KernelRecord, RunStats, TBRecord
 
 
 class TestEventQueue:
@@ -246,7 +247,8 @@ class TestRunStats:
             s.validate_invariants()
 
     def test_quantile_interpolation(self):
+        # stall quartiles use the shared repro.obs.metrics.percentile
         values = [0.0, 10.0]
-        assert _quantile(values, 0.5) == pytest.approx(5.0)
-        assert _quantile([], 0.5) == 0.0
-        assert _quantile([3.0], 0.9) == 3.0
+        assert percentile(values, 0.5) == pytest.approx(5.0)
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.9) == 3.0

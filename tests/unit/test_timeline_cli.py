@@ -97,9 +97,11 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "baseline" in out and "consumer4" in out
 
-    def test_unknown_workload_fails(self):
-        with pytest.raises(KeyError):
-            main(["analyze", "nonesuch"])
+    def test_unknown_workload_exits_2(self, capsys):
+        # one-line message on stderr, exit code 2, no traceback
+        assert main(["analyze", "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
 
 
 class TestDotCommand:
