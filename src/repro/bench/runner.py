@@ -22,6 +22,14 @@ model entry carries ``speedup_vs_baseline``.
 
 ``profile=True`` additionally runs one pass per pair under
 :mod:`cProfile` and embeds the top-k cumulative-time hotspots.
+
+``jobs > 1`` fans the independent (workload, model) cells out over a
+:class:`~repro.parallel.SuiteExecutor` process pool; results merge back
+in suite order, so simulated metrics are identical to a serial run.
+``cache_dir`` enables the persistent
+:class:`~repro.analysis.cache.AnalysisCache`, whose hit/miss counters
+are folded into the report's ``cache`` section
+(see ``docs/parallelism.md``).
 """
 
 import cProfile
@@ -32,6 +40,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.analysis.cache import AnalysisCache
 from repro.bench import schema
 from repro.core.runtime import BlockMaestroRuntime
 from repro.experiments.common import (
@@ -43,6 +52,7 @@ from repro.experiments.common import (
 from repro.obs import MetricsRegistry, Tracer
 from repro.obs.metrics import percentile
 from repro.obs.report import dump_json
+from repro.parallel import SuiteExecutor
 from repro.workloads import all_workloads, get_workload, matching_workloads
 
 #: the quick suite: the three fastest Table II workloads — used by CI
@@ -68,6 +78,10 @@ class BenchConfig:
     profile: bool = False
     profile_top: int = 15
     filter: Optional[Tuple[str, ...]] = None
+    #: worker processes for independent (workload, model) cells; 1 = serial
+    jobs: int = 1
+    #: persistent AnalysisCache directory (None = caching disabled)
+    cache_dir: Optional[str] = None
 
     def as_dict(self):
         return {
@@ -78,6 +92,8 @@ class BenchConfig:
             "quick": self.quick,
             "profile": self.profile,
             "filter": list(self.filter) if self.filter else None,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
         }
 
 
@@ -89,6 +105,8 @@ def resolve_config(
     warmup=None,
     profile=False,
     profile_top=15,
+    jobs=1,
+    cache_dir=None,
 ):
     """Fold CLI-ish arguments into a concrete :class:`BenchConfig`.
 
@@ -133,6 +151,8 @@ def resolve_config(
         profile=profile,
         profile_top=profile_top,
         filter=tuple(filter_globs) if filter_globs else None,
+        jobs=max(1, int(jobs)),
+        cache_dir=cache_dir,
     )
 
 
@@ -152,18 +172,23 @@ def _phase_of(span_name):
     return None  # plan:<app> outer span would double-count its children
 
 
-def _run_once(spec, model_name):
+def _run_once(spec, model_name, cache=None):
     """One cold build+plan+simulate pass under full observation.
 
-    Returns ``(stats, phases_s, total_s, metrics)``.
+    Returns ``(stats, phases_s, total_s, metrics)``.  ``cache`` (an
+    :class:`~repro.analysis.cache.AnalysisCache` or ``None``) memoizes
+    the launch-time analysis across passes and processes; its hit/miss
+    counters land in the returned registry.
     """
     tracer = Tracer()
     metrics = MetricsRegistry()
+    if cache is not None:
+        cache.metrics = metrics  # count this pass's traffic separately
     start = time.perf_counter()
     with tracer.span("workload.build:{}".format(spec.name), cat="ptx"):
         app = spec.build()
     reorder, window = _model_plan_params(model_name)
-    runtime = BlockMaestroRuntime(tracer=tracer, metrics=metrics)
+    runtime = BlockMaestroRuntime(tracer=tracer, metrics=metrics, cache=cache)
     plan = runtime.plan(app, reorder=reorder, window=window)
     model = _make_model(model_name, runtime.config)
     stats = model.run(plan, tracer=tracer, metrics=metrics)
@@ -187,12 +212,12 @@ def _percentile_block(samples):
     }
 
 
-def _profile_pass(spec, model_name, top):
+def _profile_pass(spec, model_name, top, cache=None):
     """One extra pass under cProfile; returns the top-k hotspot rows."""
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        _run_once(spec, model_name)
+        _run_once(spec, model_name, cache=cache)
     finally:
         profiler.disable()
     stats = pstats.Stats(profiler)
@@ -215,68 +240,133 @@ def _profile_pass(spec, model_name, top):
 # ----------------------------------------------------------------------
 # the suite
 # ----------------------------------------------------------------------
-def run_suite(config, log=None):
-    """Execute the configured suite; returns the report payload dict."""
+def _run_cell(cell):
+    """One (workload, model) suite cell: warmup + measured repeats.
+
+    This is the :class:`~repro.parallel.SuiteExecutor` task body — it
+    must stay a module-level function of one picklable argument, and it
+    must be self-contained (the workload is rebuilt from its registry
+    name inside the worker).  ``speedup_vs_baseline`` is *not* computed
+    here: it couples a cell to its workload's baseline cell, so the
+    merge step fills it in from the ordered results.
+
+    Returns ``(entry, metrics_snapshot)``.
+    """
+    wname, mname, repeats, warmup, profile, profile_top, cache_dir = cell
+    spec = get_workload(wname)
+    cache = AnalysisCache(cache_dir) if cache_dir else None
+    cell_metrics = MetricsRegistry()
+    for _ in range(warmup):
+        _, _, _, warm_metrics = _run_once(spec, mname, cache=cache)
+        # warmup passes don't contribute wall samples, but their cache
+        # traffic is real — without this a cold run looks all-hits
+        # because only the (now warm) measured passes would be counted
+        cell_metrics.merge(warm_metrics.snapshot())
+    totals, phase_samples = [], {key: [] for key in schema.PHASE_KEYS}
+    stats = metrics = None
+    makespans = set()
+    for _ in range(repeats):
+        stats, phases, total_s, metrics = _run_once(spec, mname, cache=cache)
+        totals.append(total_s)
+        for key, value in phases.items():
+            phase_samples[key].append(value)
+        makespans.add(stats.makespan_ns)
+        cell_metrics.merge(metrics.snapshot())
+    if len(makespans) != 1:
+        raise AssertionError(
+            "nondeterministic simulation: {} x {} produced makespans "
+            "{}".format(spec.name, mname, sorted(makespans))
+        )
+    simulated = stats.simulated_signature()
+    # DLB/PCB occupancy + traffic counters from the hardware model
+    # (from the last repeat: the simulation is deterministic, so every
+    # repeat produced identical hw.* values)
+    for name, value in metrics.snapshot()["counters"].items():
+        if name.startswith("hw."):
+            simulated[name] = value
+    entry = {
+        "wall": {
+            "total_s": _percentile_block(totals),
+            "phases": {
+                key: _percentile_block(samples)
+                for key, samples in phase_samples.items()
+            },
+        },
+        "simulated": simulated,
+    }
+    if profile:
+        entry["profile"] = _profile_pass(spec, mname, profile_top, cache=cache)
+    return entry, cell_metrics.snapshot()
+
+
+def run_suite(config, log=None, executor=None):
+    """Execute the configured suite; returns the report payload dict.
+
+    Cells — independent (workload, model) pairs — are dispatched through
+    a :class:`~repro.parallel.SuiteExecutor` (``config.jobs`` workers)
+    and merged back in deterministic suite order, so a ``--jobs 4``
+    report carries exactly the simulated signatures of a serial run.
+    Host and git metadata are captured once per report, up front.
+    """
     log = log if log is not None else (lambda msg: print(msg, file=sys.stderr))
+    # hoisted: one capture per report, not per cell/repeat — git metadata
+    # alone is three subprocess invocations
+    host_meta = schema.host_metadata()
+    git_meta = schema.git_metadata()
+    cells = [
+        (wname, mname, config.repeats, config.warmup,
+         config.profile, config.profile_top, config.cache_dir)
+        for wname in config.workloads
+        for mname in config.models
+    ]
+    for wname, mname, repeats, warmup, _p, _t, _c in cells:
+        log("bench: {} x {} (warmup {}, repeats {})".format(
+            wname, mname, warmup, repeats))
+    if executor is None:
+        executor = SuiteExecutor(jobs=config.jobs, log=log)
+    merged_metrics = MetricsRegistry()
+    results = executor.map(_run_cell, cells)
+
     workloads = {}
-    for wname in config.workloads:
-        spec = get_workload(wname)
-        baseline_stats = None
-        models = {}
-        for mname in config.models:
-            log("bench: {} x {} (warmup {}, repeats {})".format(
-                spec.name, mname, config.warmup, config.repeats))
-            for _ in range(config.warmup):
-                _run_once(spec, mname)
-            totals, phase_samples = [], {key: [] for key in schema.PHASE_KEYS}
-            stats = metrics = None
-            makespans = set()
-            for _ in range(config.repeats):
-                stats, phases, total_s, metrics = _run_once(spec, mname)
-                totals.append(total_s)
-                for key, value in phases.items():
-                    phase_samples[key].append(value)
-                makespans.add(stats.makespan_ns)
-            if len(makespans) != 1:
-                raise AssertionError(
-                    "nondeterministic simulation: {} x {} produced makespans "
-                    "{}".format(spec.name, mname, sorted(makespans))
-                )
-            if mname == "baseline":
-                baseline_stats = stats
-            simulated = stats.simulated_signature()
-            simulated["speedup_vs_baseline"] = (
-                baseline_stats.makespan_ns / stats.makespan_ns
-                if baseline_stats is not None and stats.makespan_ns > 0
-                else 0.0
-            )
-            # DLB/PCB occupancy + traffic counters from the hardware model
-            for name, value in metrics.snapshot()["counters"].items():
-                if name.startswith("hw."):
-                    simulated[name] = value
-            entry = {
-                "wall": {
-                    "total_s": _percentile_block(totals),
-                    "phases": {
-                        key: _percentile_block(samples)
-                        for key, samples in phase_samples.items()
-                    },
-                },
-                "simulated": simulated,
+    baseline_makespans = {}
+    for cell, (entry, metrics_snapshot) in zip(cells, results):
+        wname, mname = cell[0], cell[1]
+        merged_metrics.merge(metrics_snapshot)
+        if wname not in workloads:
+            workloads[wname] = {
+                "spec": get_workload(wname).as_dict(),
+                "models": {},
             }
-            if config.profile:
-                entry["profile"] = _profile_pass(spec, mname, config.profile_top)
-            models[mname] = entry
-        workloads[spec.name] = {"spec": spec.as_dict(), "models": models}
-    return {
+        makespan = entry["simulated"]["makespan_ns"]
+        if mname == "baseline":
+            baseline_makespans[wname] = makespan
+        baseline_makespan = baseline_makespans.get(wname)
+        entry["simulated"]["speedup_vs_baseline"] = (
+            baseline_makespan / makespan
+            if baseline_makespan is not None and makespan > 0
+            else 0.0
+        )
+        workloads[wname]["models"][mname] = entry
+    payload = {
         "kind": schema.REPORT_KIND,
         "schema_version": schema.SCHEMA_VERSION,
         "created_utc": schema.utc_timestamp(),
-        "host": schema.host_metadata(),
-        "git": schema.git_metadata(),
+        "host": host_meta,
+        "git": git_meta,
         "config": config.as_dict(),
         "workloads": workloads,
     }
+    if config.cache_dir:
+        counters = merged_metrics.snapshot()["counters"]
+        payload["cache"] = {
+            "dir": config.cache_dir,
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("cache.")
+            },
+        }
+    return payload
 
 
 def write_report(payload, path=None, directory="."):

@@ -10,7 +10,10 @@ chosen directory).  Shape::
       "created_utc": "2026-08-05T10:15:30Z",
       "host": {...},                # platform / python / cpu metadata
       "git": {...},                 # commit, branch, dirty flag
-      "config": {...},              # repeats, warmup, models, filter, ...
+      "config": {...},              # repeats, warmup, models, jobs, ...
+      "cache": {                    # optional: cache-enabled runs only
+        "dir": "...", "counters": {"cache.summary.hits": ..., ...}
+      },
       "workloads": {
         "<workload>": {
           "models": {
@@ -185,6 +188,20 @@ def validate_report(payload):
         if not (isinstance(models, list) and models
                 and all(isinstance(m, str) for m in models)):
             errors.append("config.models: must be a non-empty list of strings")
+    cache = payload.get("cache")
+    if cache is not None:  # optional: present only for cache-enabled runs
+        if not isinstance(cache, dict):
+            errors.append("cache: not an object")
+        else:
+            if not isinstance(cache.get("dir"), str):
+                errors.append("cache.dir: missing or not a string")
+            counters = cache.get("counters")
+            if not isinstance(counters, dict):
+                errors.append("cache.counters: missing or not an object")
+            else:
+                for name, value in counters.items():
+                    if not _is_number(value):
+                        errors.append("cache.counters.{}: not a number".format(name))
     workloads = payload.get("workloads")
     if not isinstance(workloads, dict) or not workloads:
         errors.append("workloads: missing or empty")

@@ -25,6 +25,11 @@ Model names accept the roster (``baseline``, ``ideal``, ``prelaunch``,
 ``producer``, ``consumer2``..``consumer4``) plus the ``blockmaestro``
 alias for the headline consumer/window-3 configuration.  Unknown
 workload or model names exit with code 2 and a one-line message.
+
+``bench run``, ``experiments``, and ``compare`` accept ``--jobs N`` to
+fan independent work out over worker processes; ``bench run`` also
+accepts ``--cache`` / ``--cache-dir DIR`` to persist launch-time
+analysis across runs.  See ``docs/parallelism.md``.
 """
 
 import argparse
@@ -142,11 +147,31 @@ def cmd_run(args):
         )
 
 
-def cmd_compare(args):
-    app = get_workload(args.workload).build()
+def _compare_model(item):
+    """``compare --jobs`` worker: one roster model, self-contained."""
+    workload, model_name = item
+    from repro.workloads import get_workload as _get
+
+    app = _get(workload).build()
     ctx = ExperimentContext()
     ctx.register_app(app)
-    runs = [ctx.run_model(app, name) for name in MODEL_NAMES]
+    return ctx.run_model(app, model_name)
+
+
+def cmd_compare(args):
+    app = get_workload(args.workload).build()
+    jobs = getattr(args, "jobs", 1) or 1
+    if jobs > 1:
+        from repro.parallel import SuiteExecutor
+
+        executor = SuiteExecutor(jobs=jobs)
+        runs = executor.map(
+            _compare_model, [(args.workload, name) for name in MODEL_NAMES]
+        )
+    else:
+        ctx = ExperimentContext()
+        ctx.register_app(app)
+        runs = [ctx.run_model(app, name) for name in MODEL_NAMES]
     baseline = runs[0]
     if args.json:
         payload = {
@@ -270,7 +295,11 @@ def cmd_validate(args):
 
 def cmd_bench_run(args):
     from repro import bench
+    from repro.analysis.cache import resolve_cache_dir
 
+    cache_dir = resolve_cache_dir(
+        cache_dir=args.cache_dir, enabled=bool(args.cache_dir or args.cache)
+    )
     config = bench.resolve_config(
         quick=args.quick,
         models=args.models,
@@ -279,6 +308,8 @@ def cmd_bench_run(args):
         warmup=args.warmup,
         profile=args.profile,
         profile_top=args.profile_top,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
     )
     payload = bench.run_suite(config)
     errors = bench.validate_report(payload)
@@ -301,11 +332,22 @@ def cmd_bench_run(args):
         format_table(
             rows,
             ["workload", "model", "wall_p50_ms", "makespan_us", "speedup"],
-            title="bench run ({} repeats, {} warmup)".format(
-                config.repeats, config.warmup
+            title="bench run ({} repeats, {} warmup, {} job{})".format(
+                config.repeats, config.warmup, config.jobs,
+                "" if config.jobs == 1 else "s",
             ),
         )
     )
+    cache_section = payload.get("cache")
+    if cache_section:
+        counters = cache_section["counters"]
+        hits = sum(v for k, v in counters.items() if k.endswith(".hits"))
+        misses = sum(v for k, v in counters.items() if k.endswith(".misses"))
+        print(
+            "cache: {:.0f} hits / {:.0f} misses ({})".format(
+                hits, misses, cache_section["dir"]
+            )
+        )
     print("wrote", path)
 
 
@@ -353,7 +395,7 @@ def cmd_bench(args):
 def cmd_experiments(args):
     from repro.experiments import runner
 
-    runner.run_all(args.names or None, out_dir=args.out)
+    runner.run_all(args.names or None, out_dir=args.out, jobs=args.jobs)
 
 
 def cmd_ablations(_args):
@@ -403,6 +445,10 @@ def build_parser():
 
     p_compare = sub.add_parser("compare", help="all models on one workload")
     p_compare.add_argument("workload")
+    p_compare.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run roster models on N worker processes (default: 1, serial)",
+    )
     p_compare.add_argument("--timelines", action="store_true")
     p_compare.add_argument("--width", type=int, default=72)
     p_compare.add_argument(
@@ -443,6 +489,10 @@ def build_parser():
     p_exp.add_argument(
         "--out", default=None, metavar="DIR",
         help="also write one JSON report per experiment into DIR",
+    )
+    p_exp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent experiments on N worker processes",
     )
 
     p_dot = sub.add_parser("dot", help="Graphviz DOT of a kernel-pair graph")
@@ -487,6 +537,20 @@ def build_parser():
     )
     b_run.add_argument("--repeats", type=int, default=None, metavar="N")
     b_run.add_argument("--warmup", type=int, default=None, metavar="N")
+    b_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent (workload, model) cells on N worker "
+             "processes; simulated metrics are identical to --jobs 1",
+    )
+    b_run.add_argument(
+        "--cache", action="store_true",
+        help="persist launch-time analysis in the default cache dir "
+             "(~/.cache/repro, or $REPRO_CACHE_DIR)",
+    )
+    b_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist launch-time analysis in DIR (implies --cache)",
+    )
     b_run.add_argument(
         "--profile",
         action="store_true",

@@ -166,6 +166,7 @@ class BlockMaestroRuntime:
         max_intervals: int = 64,
         tracer=None,
         metrics=None,
+        cache=None,
     ):
         self.config = config or GPUConfig()
         self.hardware_config = hardware or HardwareConfig()
@@ -176,6 +177,9 @@ class BlockMaestroRuntime:
         self.hazards = tuple(hazards)
         self.window = window
         self.max_intervals = max_intervals
+        #: optional persistent AnalysisCache (repro.analysis.cache);
+        #: content-addressed, so sharing one across configs is safe
+        self.cache = cache
         self._summary_cache = {}
 
     # ------------------------------------------------------------------
@@ -249,9 +253,8 @@ class BlockMaestroRuntime:
                 for plan in kernels:
                     if plan.chain_prev is None:
                         continue
-                    graph = self._graph_for(kernels[plan.chain_prev], plan)
-                    encoded = encode_graph(
-                        graph, degree_threshold=self.hardware_config.degree_threshold
+                    encoded = self._encoded_graph_for(
+                        kernels[plan.chain_prev], plan
                     )
                     plan.encoded = encoded
                     plan.traffic = self.hardware.pair_traffic(encoded.effective)
@@ -308,14 +311,64 @@ class BlockMaestroRuntime:
         if cached is not None:
             self.metrics.inc("plan.analysis_cache_hits")
             return cached
+        disk_key = None
+        if self.cache is not None:
+            disk_key = self.cache.summary_key(
+                call.kernel, launch, self.max_intervals
+            )
+            summary = self.cache.get_summary(disk_key)
+            if summary is not None:
+                self._summary_cache[key] = summary
+                return summary
         summary = analyze_kernel(
             call.kernel, launch, max_intervals=self.max_intervals
         )
         self._summary_cache[key] = summary
+        if disk_key is not None:
+            self.cache.put_summary(disk_key, summary)
         self.metrics.inc("plan.kernels_analyzed")
         if not summary.exact:
             self.metrics.inc("plan.analysis_fallbacks")
         return summary
+
+    def _encoded_graph_for(self, parent_plan, child_plan):
+        """Build (or load from the persistent cache) the child's encoded
+        dependency graph against its same-stream predecessor.
+
+        Launches with an explicit ``dependency_override`` bypass the
+        cache: the override is an arbitrary callable whose content the
+        cache cannot address.
+        """
+        use_cache = (
+            self.cache is not None
+            and child_plan.call.dependency_override is None
+        )
+        graph_key = None
+        if use_cache:
+            graph_key = self.cache.graph_key(
+                self.cache.summary_key(
+                    parent_plan.call.kernel,
+                    parent_plan.summary.launch,
+                    self.max_intervals,
+                ),
+                self.cache.summary_key(
+                    child_plan.call.kernel,
+                    child_plan.summary.launch,
+                    self.max_intervals,
+                ),
+                self.hazards,
+                self.hardware_config.degree_threshold,
+            )
+            encoded = self.cache.get_graph(graph_key)
+            if encoded is not None:
+                return encoded
+        graph = self._graph_for(parent_plan, child_plan)
+        encoded = encode_graph(
+            graph, degree_threshold=self.hardware_config.degree_threshold
+        )
+        if graph_key is not None:
+            self.cache.put_graph(graph_key, encoded)
+        return encoded
 
     def _graph_for(self, parent_plan, child_plan):
         """The child's dependency graph vs. its same-stream predecessor:

@@ -10,12 +10,20 @@ Usage::
 writes one machine-readable JSON report per experiment
 (``DIR/<name>.json``, schema in :mod:`repro.obs.report`) so benchmark
 trajectories can be recorded and diffed across commits.
+
+``--jobs N`` runs independent experiments on a process pool
+(:class:`~repro.parallel.SuiteExecutor`).  Each worker builds its own
+:class:`~repro.experiments.common.ExperimentContext`; text and JSON
+artifacts are emitted by the parent in registry order, so the output is
+byte-identical to a serial run (modulo the wall-clock ``elapsed_s``
+field and the ``[... finished in Ns]`` footers).
 """
 
 import sys
 import time
 
 from repro.obs.report import write_experiment_report
+from repro.parallel import SuiteExecutor
 
 from repro.experiments import common
 from repro.experiments import (
@@ -50,20 +58,46 @@ EXPERIMENTS = {
 _CTX_AWARE = {"fig09", "fig10", "fig11", "fig13", "tab2", "tab3", "census"}
 
 
-def run_all(names=None, stream=sys.stdout, out_dir=None):
+def _run_one(name, ctx=None):
+    """Run one experiment; returns ``(rows, elapsed_s)``.
+
+    Doubles as the ``--jobs`` worker body (``ctx=None`` builds a fresh
+    context), so it must stay module-level and picklable.
+    """
+    module = EXPERIMENTS[name]
+    if ctx is None:
+        ctx = common.ExperimentContext()
+    start = time.time()
+    if name in _CTX_AWARE:
+        rows = module.run(ctx)
+    elif name in ("fig12", "fig14"):
+        rows = module.run(common.ExperimentContext(gpu_config=ctx.gpu_config))
+    else:
+        rows = module.run()
+    return rows, time.time() - start
+
+
+def _run_one_task(name):
+    return _run_one(name)
+
+
+def run_all(names=None, stream=sys.stdout, out_dir=None, jobs=1):
     names = list(names or EXPERIMENTS)
-    ctx = common.ExperimentContext()
     results = {}
-    for name in names:
-        module = EXPERIMENTS[name]
-        start = time.time()
-        if name in _CTX_AWARE:
-            rows = module.run(ctx)
-        elif name in ("fig12", "fig14"):
-            rows = module.run(common.ExperimentContext(gpu_config=ctx.gpu_config))
+    if jobs > 1:
+        executor = SuiteExecutor(jobs=jobs)
+        produced = executor.map(_run_one_task, names)
+    else:
+        # serial: one shared context keeps plans/runs memoized across
+        # experiments (the pre---jobs behavior, bit for bit)
+        ctx = common.ExperimentContext()
+        produced = None
+    for index, name in enumerate(names):
+        if produced is not None:
+            rows, elapsed = produced[index]
         else:
-            rows = module.run()
-        elapsed = time.time() - start
+            rows, elapsed = _run_one(name, ctx)
+        module = EXPERIMENTS[name]
         results[name] = rows
         stream.write(module.format_rows(rows))
         stream.write("\n[{} finished in {:.1f}s]\n\n".format(name, elapsed))
@@ -90,6 +124,11 @@ def main(argv=None):
     argv = list(argv if argv is not None else sys.argv[1:])
     output_path = _pop_flag(argv, "--output")
     out_dir = _pop_flag(argv, "--out")
+    jobs_value = _pop_flag(argv, "--jobs")
+    try:
+        jobs = int(jobs_value) if jobs_value is not None else 1
+    except ValueError:
+        raise SystemExit("--jobs requires an integer, got {!r}".format(jobs_value))
     unknown = [a for a in argv if a not in EXPERIMENTS]
     if unknown:
         raise SystemExit(
@@ -99,10 +138,10 @@ def main(argv=None):
         )
     if output_path:
         with open(output_path, "w") as handle:
-            run_all(argv or None, stream=handle, out_dir=out_dir)
+            run_all(argv or None, stream=handle, out_dir=out_dir, jobs=jobs)
         print("wrote", output_path)
     else:
-        run_all(argv or None, out_dir=out_dir)
+        run_all(argv or None, out_dir=out_dir, jobs=jobs)
 
 
 if __name__ == "__main__":

@@ -173,6 +173,43 @@ class MetricsRegistry:
     def observe(self, name, value):
         self.histogram(name).observe(value)
 
+    # cross-process folding --------------------------------------------
+    def merge(self, snapshot):
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The contract parallel workers rely on (``--jobs N``): each
+        worker process accumulates into its own registry, ships the
+        snapshot home, and the parent *merges* — counters are summed
+        (never clobbered), gauges keep the maximum (the only order-
+        independent choice for last-write-wins instruments), histograms
+        fold their exact running statistics (count/total/min/max).
+        Histogram reservoirs are not transferable through a summary, so
+        percentiles over merged histograms reflect only locally observed
+        samples; bench percentile blocks are computed per-cell in the
+        worker for exactly that reason.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set_max(value)
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            if not summary or not summary.get("count"):
+                continue
+            hist = self.histogram(name)
+            hist.count += summary["count"]
+            hist.total += summary["total"]
+            if summary.get("min") is not None:
+                hist.min = (
+                    summary["min"] if hist.min is None
+                    else min(hist.min, summary["min"])
+                )
+            if summary.get("max") is not None:
+                hist.max = (
+                    summary["max"] if hist.max is None
+                    else max(hist.max, summary["max"])
+                )
+        return self
+
     # export -----------------------------------------------------------
     def snapshot(self):
         """Freeze to ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
@@ -252,6 +289,9 @@ class NullMetrics:
 
     def observe(self, name, value):
         pass
+
+    def merge(self, snapshot):
+        return self
 
     def snapshot(self):
         return {"counters": {}, "gauges": {}, "histograms": {}}

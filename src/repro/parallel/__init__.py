@@ -1,0 +1,36 @@
+"""Parallel suite execution (``--jobs N``).
+
+One primitive, used by every matrix-shaped command:
+
+* :class:`repro.parallel.executor.SuiteExecutor` — a process-pool
+  executor with *deterministic work partitioning* (tasks are indexed in
+  submission order and results are merged back in that order, so the
+  output of a parallel run is byte-identical to the serial run),
+  per-task timeout, bounded retries, and an inline serial fallback that
+  makes ``jobs=1`` exactly the pre-existing code path.
+
+Consumers:
+
+* ``repro bench run --jobs N``   — (workload, model) cells
+* ``repro experiments --jobs N`` — experiment modules
+* ``repro compare --jobs N``     — roster models on one workload
+
+Worker processes collect their own :class:`~repro.obs.MetricsRegistry`
+and ship a snapshot home; the parent folds counters in with
+:meth:`~repro.obs.MetricsRegistry.merge` so concurrent writers are
+summed, never clobbered.  See ``docs/parallelism.md``.
+"""
+
+from repro.parallel.executor import (
+    DEFAULT_TASK_TIMEOUT_S,
+    SuiteExecutor,
+    TaskFailure,
+    TaskResult,
+)
+
+__all__ = [
+    "DEFAULT_TASK_TIMEOUT_S",
+    "SuiteExecutor",
+    "TaskFailure",
+    "TaskResult",
+]

@@ -1,0 +1,134 @@
+"""Differential harness: parallel and cached runs must change nothing.
+
+The executor and the persistent analysis cache are pure wall-clock
+optimizations — by construction they may not perturb a single simulated
+number.  This suite is the gate: the full registry workload × model
+matrix is executed
+
+* serially with no cache (the reference),
+* under ``--jobs 4`` with a *cold* cache directory, and
+* serially again with the now-*warm* cache,
+
+and every :meth:`RunStats.simulated_signature` must match the reference
+bit for bit.  A second check does the same for experiment JSON
+artifacts (serial vs ``--jobs 2``), byte-comparing everything except
+the wall-clock ``elapsed_s`` field.
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.experiments import runner as experiments_runner
+from repro.workloads import all_workloads
+
+#: the bench default model roster: baseline + prelaunch + headline config
+MODELS = bench.DEFAULT_MODELS
+
+#: experiments in the artifact check (a fast, representative subset:
+#: analysis-heavy, storage-heavy, and the pattern census)
+EXPERIMENT_NAMES = ("tab1", "tab3", "census")
+
+
+def _signatures(payload):
+    """``{(workload, model): simulated-dict}`` from a bench report."""
+    out = {}
+    for wname, wentry in payload["workloads"].items():
+        for mname, mentry in wentry["models"].items():
+            out[(wname, mname)] = mentry["simulated"]
+    return out
+
+
+def _run_matrix(jobs, cache_dir):
+    config = bench.BenchConfig(
+        workloads=tuple(spec.name for spec in all_workloads()),
+        models=MODELS,
+        repeats=1,
+        warmup=0,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return bench.run_suite(config, log=lambda message: None)
+
+
+@pytest.fixture(scope="module")
+def reference_report():
+    return _run_matrix(jobs=1, cache_dir=None)
+
+
+class TestFullMatrixDifferential:
+    def test_reference_covers_the_whole_registry(self, reference_report):
+        signatures = _signatures(reference_report)
+        workloads = {spec.name for spec in all_workloads()}
+        assert {w for w, _m in signatures} == workloads
+        assert {m for _w, m in signatures} == set(MODELS)
+
+    def test_jobs4_cold_cache_then_warm_cache_identical(
+        self, reference_report, tmp_path_factory
+    ):
+        cache_dir = str(tmp_path_factory.mktemp("analysis-cache"))
+        reference = _signatures(reference_report)
+
+        parallel_cold = _run_matrix(jobs=4, cache_dir=cache_dir)
+        assert _signatures(parallel_cold) == reference
+
+        serial_warm = _run_matrix(jobs=1, cache_dir=cache_dir)
+        assert _signatures(serial_warm) == reference
+
+        # the warm run really did come from the cache
+        warm_counters = serial_warm["cache"]["counters"]
+        assert warm_counters.get("cache.summary.hits", 0) > 0
+        assert not warm_counters.get("cache.summary.misses")
+
+    def test_reports_validate_and_json_serialize_identically(
+        self, reference_report, tmp_path
+    ):
+        assert bench.validate_report(reference_report) == []
+        # the workloads section (everything except metadata/config/cache)
+        # serializes identically through the shared JSON writer
+        parallel = _run_matrix(jobs=4, cache_dir=None)
+        assert bench.validate_report(parallel) == []
+
+        def workloads_json(payload):
+            stripped = {
+                wname: {
+                    "spec": wentry["spec"],
+                    "models": {
+                        mname: {"simulated": mentry["simulated"]}
+                        for mname, mentry in wentry["models"].items()
+                    },
+                }
+                for wname, wentry in payload["workloads"].items()
+            }
+            return json.dumps(stripped, sort_keys=True)
+
+        assert workloads_json(parallel) == workloads_json(reference_report)
+
+
+class TestExperimentArtifactDifferential:
+    def test_serial_and_parallel_artifacts_byte_identical(self, tmp_path):
+        import io
+
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        experiments_runner.run_all(
+            list(EXPERIMENT_NAMES), stream=io.StringIO(), out_dir=str(serial_dir)
+        )
+        experiments_runner.run_all(
+            list(EXPERIMENT_NAMES),
+            stream=io.StringIO(),
+            out_dir=str(parallel_dir),
+            jobs=2,
+        )
+        for name in EXPERIMENT_NAMES:
+            with open(serial_dir / "{}.json".format(name)) as handle:
+                expected = json.load(handle)
+            with open(parallel_dir / "{}.json".format(name)) as handle:
+                actual = json.load(handle)
+            # elapsed_s is wall clock; everything else must match exactly
+            expected.pop("elapsed_s")
+            actual.pop("elapsed_s")
+            assert json.dumps(actual, sort_keys=True) == json.dumps(
+                expected, sort_keys=True
+            ), name

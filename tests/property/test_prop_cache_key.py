@@ -1,0 +1,179 @@
+"""Property tests: analysis-cache keys are injective and process-stable.
+
+The persistent :class:`~repro.analysis.cache.AnalysisCache` is only
+safe because its keys are *content addresses*: two analyses may share
+an entry iff every input the analyzer reads is identical.  These
+properties pin that down:
+
+* **Injectivity** — perturbing any key input (PTX text, grid dims,
+  block dims, argument values, ``max_intervals``, the Algorithm-1
+  toggle; for graphs: either member key, the hazard set, the degree
+  threshold) produces a different key.
+* **Determinism** — identical inputs produce identical keys across
+  fresh cache instances and across *separate interpreter processes*
+  with different ``PYTHONHASHSEED`` values (a key must never depend on
+  dict/hash iteration order).
+"""
+
+import functools
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.analyzer import LaunchConfig
+from repro.analysis.cache import AnalysisCache
+from repro.ptx.parser import parse_kernel
+
+# A vecadd-like kernel parametrized on the element width immediate —
+# each width yields genuinely different PTX text, exercising the
+# "any PTX change changes the key" half of the contract.
+KERNEL_TEMPLATE = """
+.visible .entry vecadd (.param .u64 A, .param .u64 B, .param .u64 C, .param .u32 N)
+{{
+    ld.param.u64 %rdA, [A];
+    ld.param.u64 %rdB, [B];
+    ld.param.u64 %rdC, [C];
+    ld.param.u32 %rN, [N];
+    mov.u32 %r1, %ctaid.x;
+    mad.lo.u32 %r2, %r1, %ntid.x, %tid.x;
+    setp.ge.u32 %p1, %r2, %rN;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd1, %r2, {width};
+    add.u64 %rd2, %rdA, %rd1;
+    ld.global.f32 %f1, [%rd2];
+    add.u64 %rd3, %rdB, %rd1;
+    ld.global.f32 %f2, [%rd3];
+    add.f32 %f3, %f1, %f2;
+    add.u64 %rd4, %rdC, %rd1;
+    st.global.f32 [%rd4], %f3;
+DONE:
+    ret;
+}}
+"""
+
+
+@functools.lru_cache(maxsize=None)
+def _kernel(width):
+    return parse_kernel(KERNEL_TEMPLATE.format(width=width))
+
+
+def _launch(grid, block, arg_base, n):
+    return LaunchConfig.create(
+        grid=grid,
+        block=block,
+        args={
+            "A": arg_base,
+            "B": arg_base + (1 << 16),
+            "C": arg_base + (1 << 17),
+            "N": n,
+        },
+    )
+
+
+# Everything the summary key must cover, as one tuple-valued strategy:
+# (ptx width, grid.x, block.x, argument base address, N, max_intervals,
+#  run_algorithm1).  Two draws are equal iff the analyzer inputs are.
+summary_params_st = st.tuples(
+    st.sampled_from((1, 2, 4, 8)),
+    st.integers(1, 64),
+    st.sampled_from((32, 64, 128, 256)),
+    st.sampled_from((0, 0x1000, 0x2000, 0x40000)),
+    st.sampled_from((64, 256, 1024)),
+    st.sampled_from((16, 32, 64)),
+    st.booleans(),
+)
+
+
+def _summary_key(cache, params):
+    width, grid, block, arg_base, n, max_intervals, algorithm1 = params
+    return cache.summary_key(
+        _kernel(width),
+        _launch(grid, block, arg_base, n),
+        max_intervals,
+        run_algorithm1=algorithm1,
+    )
+
+
+class TestSummaryKeyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(summary_params_st, summary_params_st)
+    def test_keys_equal_iff_inputs_equal(self, a, b):
+        cache = AnalysisCache("/tmp/unused")
+        assert (_summary_key(cache, a) == _summary_key(cache, b)) == (a == b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(summary_params_st)
+    def test_key_stable_across_fresh_instances(self, params):
+        # a fresh instance has an empty kernel-hash memo: the key must
+        # not depend on memoization state or instance identity
+        assert _summary_key(AnalysisCache("/tmp/a"), params) == _summary_key(
+            AnalysisCache("/tmp/b"), params
+        )
+
+
+hazard_st = st.lists(
+    st.sampled_from(("raw", "war", "waw")), min_size=1, max_size=3, unique=True
+).map(tuple)
+graph_params_st = st.tuples(
+    st.sampled_from(("k1", "k2", "k3")),
+    st.sampled_from(("k1", "k2", "k3")),
+    hazard_st,
+    st.sampled_from((4, 8, 16)),
+)
+
+
+class TestGraphKeyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_params_st, graph_params_st)
+    def test_keys_equal_iff_inputs_equal(self, a, b):
+        cache = AnalysisCache("/tmp/unused")
+        assert (cache.graph_key(*a) == cache.graph_key(*b)) == (a == b)
+
+    def test_parent_and_child_are_not_interchangeable(self):
+        # hazards flow parent→child; swapping the members must re-key
+        cache = AnalysisCache("/tmp/unused")
+        assert cache.graph_key("k1", "k2", ("raw",), 8) != cache.graph_key(
+            "k2", "k1", ("raw",), 8
+        )
+
+
+_SUBPROCESS_SNIPPET = """
+import sys
+sys.path.insert(0, {src!r})
+from tests.property.test_prop_cache_key import _summary_key
+from repro.analysis.cache import AnalysisCache
+print(_summary_key(AnalysisCache("/tmp/unused"), {params!r}))
+"""
+
+
+class TestCrossProcessStability:
+    def test_key_identical_under_different_hash_seeds(self):
+        """sha256 content addressing must not inherit hash randomization.
+
+        A key that varied with ``PYTHONHASHSEED`` would silently turn
+        every cache directory single-use.  Compute the same key in two
+        interpreters with different seeds and in-process, and require
+        all three to agree.
+        """
+        params = (4, 16, 128, 0x1000, 256, 64, True)
+        here = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        snippet = _SUBPROCESS_SNIPPET.format(
+            src=os.path.join(here, "src"), params=params
+        )
+        keys = set()
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=here)
+            out = subprocess.run(
+                [sys.executable, "-c", snippet],
+                env=env,
+                cwd=here,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            keys.add(out.stdout.strip())
+        keys.add(_summary_key(AnalysisCache("/tmp/unused"), params))
+        assert len(keys) == 1, keys

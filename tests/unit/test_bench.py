@@ -313,3 +313,38 @@ class TestBenchConfig:
         assert loaded["workloads"] == ["mvt"]
         assert loaded["filter"] == ["m*"]
         assert loaded["repeats"] == 3
+
+
+class TestRunSuiteMetadata:
+    def test_git_and_host_metadata_captured_once_per_report(self, monkeypatch):
+        """Metadata capture shells out to git — once per report, not per cell.
+
+        Regression pin: the suite runner used to re-capture host/git
+        metadata per (workload, model) cell, which multiplied subprocess
+        cost by the matrix size and could even produce a torn report if
+        HEAD moved mid-run.
+        """
+        from repro.bench import runner as bench_runner
+
+        calls = {"git": 0, "host": 0}
+        real_git = bench_runner.schema.git_metadata
+        real_host = bench_runner.schema.host_metadata
+
+        def counting_git():
+            calls["git"] += 1
+            return real_git()
+
+        def counting_host():
+            calls["host"] += 1
+            return real_host()
+
+        monkeypatch.setattr(bench_runner.schema, "git_metadata", counting_git)
+        monkeypatch.setattr(bench_runner.schema, "host_metadata", counting_host)
+
+        config = BenchConfig(workloads=("mvt", "bicg"), models=("baseline",),
+                             repeats=2, warmup=0)
+        payload = bench_runner.run_suite(config, log=lambda message: None)
+
+        assert len(payload["workloads"]) == 2  # multi-cell matrix ran
+        assert calls == {"git": 1, "host": 1}
+        assert payload["git"] == real_git()

@@ -1,0 +1,153 @@
+"""Unit tests for the SuiteExecutor (repro.parallel.executor)."""
+
+import os
+import time
+
+import pytest
+
+from repro.parallel import SuiteExecutor, TaskFailure
+
+# ----------------------------------------------------------------------
+# module-level worker bodies (pool tasks must be picklable)
+# ----------------------------------------------------------------------
+
+
+def _square(item):
+    return item * item
+
+
+def _pid_and_item(item):
+    return os.getpid(), item
+
+
+def _sleep_inverse(item):
+    """Later items finish first: completion order != submission order."""
+    index, count = item
+    time.sleep(0.05 * (count - index))
+    return index
+
+
+def _fail_on_three(item):
+    if item == 3:
+        raise ValueError("three is right out")
+    return item
+
+
+def _fail_outside_parent(item):
+    """Fails in a pool worker, succeeds when rescued in the parent."""
+    parent_pid, value = item
+    if os.getpid() != parent_pid:
+        raise RuntimeError("worker refuses")
+    return value * 10
+
+
+def _sleep_outside_parent(item):
+    """Hangs (briefly) in a pool worker, instant in the parent."""
+    parent_pid, value = item
+    if os.getpid() != parent_pid:
+        time.sleep(5.0)
+    return value
+
+
+class TestSerialPath:
+    def test_jobs_1_runs_inline_in_order(self):
+        executor = SuiteExecutor(jobs=1)
+        seen = []
+
+        def tracked(item):
+            seen.append(item)
+            return item + 1
+
+        assert executor.map(tracked, [3, 1, 2]) == [4, 2, 3]
+        assert seen == [3, 1, 2]  # submission order, same process
+
+    def test_jobs_1_accepts_closures(self):
+        # the inline path must not require picklability
+        executor = SuiteExecutor(jobs=1)
+        offset = 7
+        assert executor.map(lambda item: item + offset, [0, 1]) == [7, 8]
+
+    def test_single_item_never_spawns_a_pool(self):
+        executor = SuiteExecutor(jobs=8)
+        results = executor.run(_pid_and_item, ["only"])
+        assert results[0].value == (os.getpid(), "only")
+        assert results[0].inline
+
+    def test_serial_retry_then_success(self):
+        executor = SuiteExecutor(jobs=1, retries=2)
+        attempts = []
+
+        def flaky(item):
+            attempts.append(item)
+            if len(attempts) < 3:
+                raise RuntimeError("not yet")
+            return "ok"
+
+        results = executor.run(flaky, ["x"])
+        assert results[0].value == "ok"
+        assert results[0].attempts == 3
+
+    def test_serial_retry_budget_exhausted(self):
+        executor = SuiteExecutor(jobs=1, retries=1)
+
+        def always(item):
+            raise RuntimeError("no")
+
+        with pytest.raises(TaskFailure) as excinfo:
+            executor.run(always, ["x"])
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.cause, RuntimeError)
+
+    def test_zero_retries_fails_on_first_error(self):
+        executor = SuiteExecutor(jobs=1, retries=0)
+        with pytest.raises(TaskFailure):
+            executor.map(_fail_on_three, [1, 2, 3])
+
+
+class TestPoolPath:
+    def test_results_merge_in_submission_order(self):
+        count = 6
+        executor = SuiteExecutor(jobs=3, retries=0)
+        items = [(index, count) for index in range(count)]
+        assert executor.map(_sleep_inverse, items) == list(range(count))
+
+    def test_work_actually_leaves_the_parent(self):
+        executor = SuiteExecutor(jobs=2, retries=0)
+        results = executor.map(_pid_and_item, list(range(4)))
+        assert [item for _pid, item in results] == [0, 1, 2, 3]
+        assert all(pid != os.getpid() for pid, _item in results)
+
+    def test_map_matches_serial_semantics(self):
+        serial = SuiteExecutor(jobs=1).map(_square, list(range(10)))
+        parallel = SuiteExecutor(jobs=4).map(_square, list(range(10)))
+        assert serial == parallel == [n * n for n in range(10)]
+
+    def test_worker_exception_rescued_inline(self):
+        executor = SuiteExecutor(jobs=2, retries=1)
+        parent = os.getpid()
+        items = [(parent, value) for value in range(3)]
+        results = executor.run(_fail_outside_parent, items)
+        assert [r.value for r in results] == [0, 10, 20]
+        assert all(r.inline for r in results)  # every task was rescued
+
+    def test_worker_exception_without_retries_raises(self):
+        executor = SuiteExecutor(jobs=2, retries=0)
+        with pytest.raises(TaskFailure) as excinfo:
+            executor.map(_fail_on_three, [1, 2, 3, 4])
+        assert excinfo.value.index == 2
+
+    def test_timeout_rescued_inline(self):
+        executor = SuiteExecutor(jobs=2, timeout_s=0.5, retries=1)
+        parent = os.getpid()
+        items = [(parent, value) for value in range(2)]
+        start = time.perf_counter()
+        assert executor.map(_sleep_outside_parent, items) == [0, 1]
+        # the rescue must not have waited out the workers' 5 s sleeps
+        assert time.perf_counter() - start < 4.0
+
+    def test_log_callable_receives_rescue_lines(self):
+        lines = []
+        executor = SuiteExecutor(jobs=2, retries=1, log=lines.append)
+        parent = os.getpid()
+        executor.map(_fail_outside_parent, [(parent, 1), (parent, 2)])
+        assert any("re-running inline" in line for line in lines)
