@@ -25,6 +25,12 @@ from repro.analysis.analyzer import (
     LaunchConfig,
     analyze_kernel,
 )
+from repro.analysis.fastpath import (
+    FASTPATH_ENV,
+    FASTPATH_MODES,
+    build_graph_fast,
+    resolve_fastpath_mode,
+)
 
 __all__ = [
     "Interval",
@@ -49,4 +55,8 @@ __all__ = [
     "KernelSummary",
     "LaunchConfig",
     "analyze_kernel",
+    "FASTPATH_ENV",
+    "FASTPATH_MODES",
+    "build_graph_fast",
+    "resolve_fastpath_mode",
 ]

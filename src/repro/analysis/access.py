@@ -107,16 +107,18 @@ class AccessRecord:
             extent += stride * (count - 1)
         return extent
 
-    def footprint(self, bx, by=0, bz=0, max_intervals=DEFAULT_MAX_INTERVALS):
-        """Lower this record for one thread block.
+    def expansion(self, max_intervals=DEFAULT_MAX_INTERVALS):
+        """The thread-block-invariant part of :meth:`footprint`.
 
-        Returns ``(intervals, exact)``.  Dimensions whose stride does not
-        exceed the dense extent of the inner dimensions coalesce into a
-        single dense run; otherwise the expansion multiplies.  When the
-        expansion would exceed ``max_intervals``, the bounding interval
-        is returned with ``exact=False``.
+        Returns ``(offsets, run, exact)``: the footprint of any block
+        ``b`` is ``{[base(b) + off, base(b) + off + run) for off in
+        offsets}``, where ``base(b)`` is :meth:`block_base` — only the
+        translation varies with the block, never the interval shape.
+        The fast-path graph builders rely on this invariance; keep
+        :meth:`footprint` defined in terms of this method so both agree
+        bit for bit.  ``exact=False`` means the expansion exceeded
+        ``max_intervals`` and a single bounding run is returned.
         """
-        base = self.block_base(bx, by, bz)
         # innermost-first: smallest strides coalesce into dense runs
         run = self.width
         remaining = []
@@ -129,11 +131,24 @@ class AccessRecord:
         for _, count in remaining:
             total *= count
         if total > max_intervals:
-            return [Interval(base, base + self.span_bytes())], False
+            return (0,), self.span_bytes(), False
         offsets = [0]
         for stride, count in remaining:
             offsets = [off + stride * k for off in offsets for k in range(count)]
-        return [Interval(base + off, base + off + run) for off in offsets], True
+        return tuple(offsets), run, True
+
+    def footprint(self, bx, by=0, bz=0, max_intervals=DEFAULT_MAX_INTERVALS):
+        """Lower this record for one thread block.
+
+        Returns ``(intervals, exact)``.  Dimensions whose stride does not
+        exceed the dense extent of the inner dimensions coalesce into a
+        single dense run; otherwise the expansion multiplies.  When the
+        expansion would exceed ``max_intervals``, the bounding interval
+        is returned with ``exact=False``.
+        """
+        base = self.block_base(bx, by, bz)
+        offsets, run, exact = self.expansion(max_intervals)
+        return [Interval(base + off, base + off + run) for off in offsets], exact
 
 
 @dataclass

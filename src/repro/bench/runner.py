@@ -30,6 +30,12 @@ in suite order, so simulated metrics are identical to a serial run.
 :class:`~repro.analysis.cache.AnalysisCache`, whose hit/miss counters
 are folded into the report's ``cache`` section
 (see ``docs/parallelism.md``).
+
+Graph-construction tier counters (``analysis.fastpath.*`` — which of
+the closed-form / vectorized / reference builders served each kernel
+pair, see ``docs/analysis.md``) are folded into the report's
+``fastpath`` section whenever any fired, alongside the effective
+``REPRO_FASTPATH`` mode.
 """
 
 import cProfile
@@ -41,6 +47,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.analysis.cache import AnalysisCache
+from repro.analysis.fastpath import resolve_fastpath_mode
 from repro.bench import schema
 from repro.core.runtime import BlockMaestroRuntime
 from repro.experiments.common import (
@@ -356,8 +363,8 @@ def run_suite(config, log=None, executor=None):
         "config": config.as_dict(),
         "workloads": workloads,
     }
+    counters = merged_metrics.snapshot()["counters"]
     if config.cache_dir:
-        counters = merged_metrics.snapshot()["counters"]
         payload["cache"] = {
             "dir": config.cache_dir,
             "counters": {
@@ -365,6 +372,19 @@ def run_suite(config, log=None, executor=None):
                 for name, value in counters.items()
                 if name.startswith("cache.")
             },
+        }
+    fastpath_counters = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("analysis.fastpath.")
+    }
+    if fastpath_counters:
+        # which graph-construction tier served each kernel pair, summed
+        # over every cell (warmup included — tier choice is wall-clock,
+        # not simulated, so warm passes exercise the same code path)
+        payload["fastpath"] = {
+            "mode": resolve_fastpath_mode(None),
+            "counters": fastpath_counters,
         }
     return payload
 

@@ -14,6 +14,9 @@ chosen directory).  Shape::
       "cache": {                    # optional: cache-enabled runs only
         "dir": "...", "counters": {"cache.summary.hits": ..., ...}
       },
+      "fastpath": {                 # optional: graph-build tier census
+        "mode": "auto", "counters": {"analysis.fastpath.closed_form": ...}
+      },
       "workloads": {
         "<workload>": {
           "models": {
@@ -202,6 +205,22 @@ def validate_report(payload):
                 for name, value in counters.items():
                     if not _is_number(value):
                         errors.append("cache.counters.{}: not a number".format(name))
+    fastpath = payload.get("fastpath")
+    if fastpath is not None:  # optional: present when any tier counter fired
+        if not isinstance(fastpath, dict):
+            errors.append("fastpath: not an object")
+        else:
+            if not isinstance(fastpath.get("mode"), str):
+                errors.append("fastpath.mode: missing or not a string")
+            counters = fastpath.get("counters")
+            if not isinstance(counters, dict):
+                errors.append("fastpath.counters: missing or not an object")
+            else:
+                for name, value in counters.items():
+                    if not _is_number(value):
+                        errors.append(
+                            "fastpath.counters.{}: not a number".format(name)
+                        )
     workloads = payload.get("workloads")
     if not isinstance(workloads, dict) or not workloads:
         errors.append("workloads: missing or empty")

@@ -20,6 +20,10 @@ Commands:
 * ``bench run|diff|trend``          — performance benchmarking and
                                       regression tracking (see
                                       ``docs/benchmarking.md``)
+* ``bench fastpath``                — dependency-analysis fast-path
+                                      microbench: reference vs tiered
+                                      graph build (``--census`` for the
+                                      per-workload tier breakdown)
 
 Model names accept the roster (``baseline``, ``ideal``, ``prelaunch``,
 ``producer``, ``consumer2``..``consumer4``) plus the ``blockmaestro``
@@ -348,6 +352,19 @@ def cmd_bench_run(args):
                 hits, misses, cache_section["dir"]
             )
         )
+    fastpath_section = payload.get("fastpath")
+    if fastpath_section:
+        counters = fastpath_section["counters"]
+        prefix = "analysis.fastpath."
+        print(
+            "fastpath ({}): {}".format(
+                fastpath_section["mode"],
+                ", ".join(
+                    "{} {:.0f}".format(name[len(prefix):], counters[name])
+                    for name in sorted(counters)
+                ),
+            )
+        )
     print("wrote", path)
 
 
@@ -365,6 +382,62 @@ def cmd_bench_diff(args):
     )
     print(bench.format_diff(result, tolerance=args.tolerance, strict=args.strict))
     return 1 if result.failed(strict=args.strict) else 0
+
+
+def cmd_bench_fastpath(args):
+    from repro.bench import fastpath as fp
+
+    if args.census:
+        census = fp.registry_tier_census()
+        print(fp.format_census(census))
+        if fp.census_closed_form_total(census) == 0:
+            print(
+                "error: closed-form tier fired on zero registry workloads",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    summary = fp.run_fastpath_bench(
+        args.out,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        jobs=args.jobs,
+        log=lambda msg: print(msg, file=sys.stderr),
+    )
+    rows = [
+        {"workload": wname, "encode_speedup": speedup}
+        for wname, speedup in summary["encode_speedups"].items()
+    ]
+    print(
+        format_table(
+            rows,
+            ["workload", "encode_speedup"],
+            title="fastpath vs reference (encode-phase p50, cold)",
+        )
+    )
+    counters = summary["counters"]
+    prefix = "analysis.fastpath."
+    print(
+        "tiers: {}".format(
+            ", ".join(
+                "{} {:.0f}".format(name[len(prefix):], counters[name])
+                for name in sorted(counters)
+            ) or "(none)"
+        )
+    )
+    print("wrote", summary["before"])
+    print("wrote", summary["after"])
+    print("wrote", summary["diff"])
+    if summary["drift"]:
+        print(
+            "error: simulated drift between reference and fastpath runs — "
+            "the tiers must produce identical graphs (see {})".format(
+                summary["diff"]
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_bench_trend(args):
@@ -388,6 +461,7 @@ def cmd_bench(args):
         "run": cmd_bench_run,
         "diff": cmd_bench_diff,
         "trend": cmd_bench_trend,
+        "fastpath": cmd_bench_fastpath,
     }[args.bench_command]
     return handler(args)
 
@@ -582,6 +656,28 @@ def build_parser():
     b_diff.add_argument(
         "--strict", action="store_true",
         help="also fail when entries present in OLD are missing from NEW",
+    )
+
+    b_fp = bench_sub.add_parser(
+        "fastpath",
+        help="analysis-fastpath microbench: reference vs tiered graph "
+             "build, before/after reports + DIFF (docs/analysis.md)",
+    )
+    b_fp.add_argument(
+        "--out", default="fastpath-bench", metavar="DIR",
+        help="output directory for the two reports and DIFF.txt "
+             "(default: fastpath-bench)",
+    )
+    b_fp.add_argument("--repeats", type=int, default=3, metavar="N")
+    b_fp.add_argument("--warmup", type=int, default=1, metavar="N")
+    b_fp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per pass (default 1)",
+    )
+    b_fp.add_argument(
+        "--census", action="store_true",
+        help="instead of benchmarking, print which tier serves each "
+             "registry workload; exit 1 if closed-form never fires",
     )
 
     b_trend = bench_sub.add_parser(

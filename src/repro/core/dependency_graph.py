@@ -65,6 +65,24 @@ class BipartiteGraph:
                     raise ValueError("child id %d out of range" % c)
                 counts[c] += 1
         total = sum(counts)
+        return cls.explicit_prebuilt(
+            num_parents, num_children, children_of, tuple(counts), total
+        )
+
+    @classmethod
+    def explicit_prebuilt(
+        cls, num_parents, num_children, children_of, parent_counts, total
+    ):
+        """Explicit graph from already-canonical adjacency.
+
+        ``children_of`` must be a tuple of sorted, duplicate-free tuples
+        of in-range python ints, ``parent_counts`` the matching
+        in-degree tuple and ``total`` the edge count — the closed-form /
+        vectorized graph builders produce adjacency in exactly this form
+        and skip :meth:`explicit`'s O(E log E) re-canonicalization.  The
+        same collapse rules apply, so the result is indistinguishable
+        from :meth:`explicit` on equivalent input.
+        """
         if total == 0:
             return cls.independent(num_parents, num_children)
         if total == num_parents * num_children:
@@ -74,7 +92,7 @@ class BipartiteGraph:
             num_children,
             GraphKind.EXPLICIT,
             children_of=children_of,
-            parent_counts=tuple(counts),
+            parent_counts=parent_counts,
         )
 
     # ------------------------------------------------------------------
@@ -118,9 +136,14 @@ class BipartiteGraph:
             return ()
         if self.kind is GraphKind.FULLY_CONNECTED:
             return tuple(range(self.num_parents))
-        return tuple(
-            p for p, children in enumerate(self.children_of) if child_tb in children
-        )
+        parents = []
+        for p, children in enumerate(self.children_of):
+            # children tuples are sorted: bisect beats the O(deg)
+            # tuple-membership scan on wide fan-outs
+            i = bisect.bisect_left(children, child_tb)
+            if i < len(children) and children[i] == child_tb:
+                parents.append(p)
+        return tuple(parents)
 
     def max_child_in_degree(self):
         if self.kind is GraphKind.INDEPENDENT:
@@ -320,4 +343,6 @@ class _ParentIntervalIndex:
                 if hi > probe.lo and lo < probe.hi:
                     found.add(tb)
                 j -= 1
-        return found
+        # deterministic result order regardless of set iteration /
+        # PYTHONHASHSEED — callers consume parents in ascending TB order
+        return tuple(sorted(found))

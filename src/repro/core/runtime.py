@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.analyzer import KernelSummary, LaunchConfig, analyze_kernel
 from repro.analysis.intervals import IntervalSet
-from repro.core.dependency_graph import BipartiteGraph, build_bipartite_graph
+from repro.core.dependency_graph import BipartiteGraph
 from repro.core.encoding import EncodedGraph, encode_graph
 from repro.core.hardware import DependencyHardware, HardwareConfig, PairTraffic
 from repro.core.reorder import reorder_trace
@@ -167,6 +167,7 @@ class BlockMaestroRuntime:
         tracer=None,
         metrics=None,
         cache=None,
+        fastpath=None,
     ):
         self.config = config or GPUConfig()
         self.hardware_config = hardware or HardwareConfig()
@@ -180,6 +181,17 @@ class BlockMaestroRuntime:
         #: optional persistent AnalysisCache (repro.analysis.cache);
         #: content-addressed, so sharing one across configs is safe
         self.cache = cache
+        #: graph-construction tier policy (repro.analysis.fastpath);
+        #: ``None`` consults REPRO_FASTPATH, defaulting to "auto".  The
+        #: tiers are differential-tested to produce identical graphs, so
+        #: the mode never changes a plan — only how fast it is built —
+        #: and cache entries interoperate across modes.
+        # imported lazily: repro.analysis.fastpath builds on
+        # repro.core.dependency_graph, whose package init loads this
+        # module — a module-level import here would cycle
+        from repro.analysis.fastpath import resolve_fastpath_mode
+
+        self.fastpath = resolve_fastpath_mode(fastpath)
         self._summary_cache = {}
 
     # ------------------------------------------------------------------
@@ -375,9 +387,16 @@ class BlockMaestroRuntime:
         analysis-derived, or the launch's explicit override."""
         override = child_plan.call.dependency_override
         if override is None:
-            return build_bipartite_graph(
-                parent_plan.summary, child_plan.summary, hazards=self.hazards
+            from repro.analysis.fastpath import build_graph_fast
+
+            graph, tier = build_graph_fast(
+                parent_plan.summary,
+                child_plan.summary,
+                hazards=self.hazards,
+                mode=self.fastpath,
             )
+            self.metrics.inc("analysis.fastpath.%s" % tier)
+            return graph
         graph = (
             override(parent_plan.summary, child_plan.summary)
             if callable(override)

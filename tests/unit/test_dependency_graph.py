@@ -194,3 +194,70 @@ class TestBuilder:
         # block b reads one element of block b-1
         assert g.parents_of(1) == (0, 1)
         assert g.parents_of(0) == (0,)
+
+
+class TestParentsOfBisect:
+    def test_membership_and_absence(self):
+        g = BipartiteGraph.explicit(4, 8, [[0, 3, 7], [1], [], [0, 7]])
+        assert g.parents_of(0) == (0, 3)
+        assert g.parents_of(3) == (0,)
+        assert g.parents_of(7) == (0, 3)
+        assert g.parents_of(2) == ()
+
+    def test_wide_fanout(self):
+        # one parent feeds every even child: bisect must not skip ends
+        evens = list(range(0, 64, 2))
+        g = BipartiteGraph.explicit(2, 64, [evens, [63]])
+        assert g.parents_of(0) == (0,)
+        assert g.parents_of(62) == (0,)
+        assert g.parents_of(63) == (1,)
+        assert g.parents_of(33) == ()
+
+    def test_canonical_kinds(self):
+        assert BipartiteGraph.fully_connected(3, 3).parents_of(1) == (0, 1, 2)
+        assert BipartiteGraph.independent(3, 3).parents_of(1) == ()
+
+
+class TestOrderStability:
+    def test_adjacency_insensitive_to_hash_seed(self):
+        """Graph adjacency must not depend on PYTHONHASHSEED.
+
+        ``_ParentIntervalIndex.overlapping_parents`` collects candidate
+        parents in a set; the builder must sort them before emitting
+        adjacency so two interpreters with different hash seeds build
+        byte-identical graphs.
+        """
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.analysis.analyzer import LaunchConfig, analyze_kernel\n"
+            "from repro.core.dependency_graph import build_bipartite_graph\n"
+            "from repro.ptx.parser import parse_kernel\n"
+            "from tests.conftest import PRODUCE_SRC\n"
+            "parent = analyze_kernel(parse_kernel(PRODUCE_SRC),\n"
+            "    LaunchConfig.create(8, 64, {'IN0': 0, 'OUT': 1 << 20}))\n"
+            "child = analyze_kernel(\n"
+            "    parse_kernel(PRODUCE_SRC.replace('produce', 'c')),\n"
+            "    LaunchConfig.create(8, 64, {'IN0': 1 << 20, 'OUT': 1 << 21}))\n"
+            "g = build_bipartite_graph(parent, child,\n"
+            "    hazards=('raw', 'war', 'waw'))\n"
+            "print([g.children(p) for p in range(g.num_parents)])\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "4242"):
+            import repro
+            import tests
+
+            src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+            repo_dir = os.path.dirname(os.path.dirname(tests.__file__))
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = os.pathsep.join([repo_dir, src_dir])
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1, outputs
