@@ -140,6 +140,24 @@ def diff_reports(old, new, tolerance=0.25, min_seconds=0.010):
                     Delta(wname, mname, "simulated.{}".format(metric),
                           a, b, "simulated")
                 )
+
+        # critical-path attribution: also deterministic, zero tolerance.
+        # Only compared when both reports carry it (--critpath is opt-in),
+        # so a report pair with and without the section diffs clean.
+        old_cp = before.get("critpath")
+        new_cp = after.get("critpath")
+        if isinstance(old_cp, dict) and isinstance(new_cp, dict):
+            old_attr = old_cp.get("attribution_ns", {})
+            new_attr = new_cp.get("attribution_ns", {})
+            for comp in sorted(old_attr.keys() | new_attr.keys()):
+                a = old_attr.get(comp, 0.0)
+                b = new_attr.get(comp, 0.0)
+                if a != b:
+                    result.drift.append(
+                        Delta(wname, mname,
+                              "critpath.attribution_ns.{}".format(comp),
+                              a, b, "simulated")
+                    )
     return result
 
 

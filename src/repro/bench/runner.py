@@ -89,6 +89,9 @@ class BenchConfig:
     jobs: int = 1
     #: persistent AnalysisCache directory (None = caching disabled)
     cache_dir: Optional[str] = None
+    #: embed a per-model critical-path attribution section (one extra
+    #: provenance pass per cell; see docs/observability.md)
+    critpath: bool = False
 
     def as_dict(self):
         return {
@@ -101,6 +104,7 @@ class BenchConfig:
             "filter": list(self.filter) if self.filter else None,
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
+            "critpath": self.critpath,
         }
 
 
@@ -114,6 +118,7 @@ def resolve_config(
     profile_top=15,
     jobs=1,
     cache_dir=None,
+    critpath=False,
 ):
     """Fold CLI-ish arguments into a concrete :class:`BenchConfig`.
 
@@ -160,6 +165,7 @@ def resolve_config(
         filter=tuple(filter_globs) if filter_globs else None,
         jobs=max(1, int(jobs)),
         cache_dir=cache_dir,
+        critpath=critpath,
     )
 
 
@@ -206,6 +212,30 @@ def _run_once(spec, model_name, cache=None):
         if phase is not None:
             phases[phase] += total_us / 1e6
     return stats, phases, total_s, metrics
+
+
+def _critpath_entry(spec, model_name, cache=None):
+    """One provenance pass -> the per-model ``critpath`` bench section.
+
+    Deliberately a separate (untimed) pass so the attribution never
+    contaminates the wall-clock samples; the simulation is
+    deterministic, so the recorded path matches the measured repeats.
+    """
+    from repro.obs.critpath import ProvenanceRecorder, build_report
+
+    prov = ProvenanceRecorder()
+    spec_app = spec.build()
+    reorder, window = _model_plan_params(model_name)
+    runtime = BlockMaestroRuntime(cache=cache)
+    plan = runtime.plan(spec_app, reorder=reorder, window=window)
+    model = _make_model(model_name, runtime.config)
+    stats = model.run(plan, provenance=prov)
+    report = build_report(stats, plan, prov, model.gpu_config)
+    return {
+        "attribution_ns": report["attribution_ns"],
+        "attribution_fraction": report["attribution_fraction"],
+        "num_segments": report["critical_path"]["num_segments"],
+    }
 
 
 def _percentile_block(samples):
@@ -259,7 +289,8 @@ def _run_cell(cell):
 
     Returns ``(entry, metrics_snapshot)``.
     """
-    wname, mname, repeats, warmup, profile, profile_top, cache_dir = cell
+    (wname, mname, repeats, warmup, profile, profile_top, cache_dir,
+     critpath) = cell
     spec = get_workload(wname)
     cache = AnalysisCache(cache_dir) if cache_dir else None
     cell_metrics = MetricsRegistry()
@@ -303,6 +334,8 @@ def _run_cell(cell):
     }
     if profile:
         entry["profile"] = _profile_pass(spec, mname, profile_top, cache=cache)
+    if critpath:
+        entry["critpath"] = _critpath_entry(spec, mname, cache=cache)
     return entry, cell_metrics.snapshot()
 
 
@@ -322,13 +355,14 @@ def run_suite(config, log=None, executor=None):
     git_meta = schema.git_metadata()
     cells = [
         (wname, mname, config.repeats, config.warmup,
-         config.profile, config.profile_top, config.cache_dir)
+         config.profile, config.profile_top, config.cache_dir,
+         config.critpath)
         for wname in config.workloads
         for mname in config.models
     ]
-    for wname, mname, repeats, warmup, _p, _t, _c in cells:
+    for cell in cells:
         log("bench: {} x {} (warmup {}, repeats {})".format(
-            wname, mname, warmup, repeats))
+            cell[0], cell[1], cell[3], cell[2]))
     if executor is None:
         executor = SuiteExecutor(jobs=config.jobs, log=log)
     merged_metrics = MetricsRegistry()

@@ -26,6 +26,10 @@ chosen directory).  Shape::
                 "phases": {"parse"|"analyze"|"encode"|"simulate": <same>}
               },
               "simulated": {"makespan_ns": ..., ...},   # zero-tolerance
+              "critpath": {                             # optional: --critpath
+                "attribution_ns": {...}, "attribution_fraction": {...},
+                "num_segments": ...
+              },
               "profile": [{"func", "ncalls", "tottime_s", "cumtime_s"}]
             }
           }
@@ -53,6 +57,18 @@ PHASE_KEYS = ("parse", "analyze", "encode", "simulate")
 
 #: statistics every percentile block must carry
 PERCENTILE_KEYS = ("p50", "p95", "max", "mean", "repeats")
+
+#: critical-path components an optional "critpath" section may attribute
+CRITPATH_COMPONENT_KEYS = (
+    "exec",
+    "launch",
+    "dependency",
+    "occupancy",
+    "barrier",
+    "copy",
+    "host",
+    "other",
+)
 
 #: simulated metrics every model entry must carry (zero-tolerance set)
 REQUIRED_SIMULATED_KEYS = (
@@ -264,6 +280,38 @@ def validate_report(payload):
                     elif not _is_number(simulated[key]):
                         errors.append(
                             "{}.simulated.{}: not a number".format(mpath, key)
+                        )
+            critpath = mentry.get("critpath")
+            if critpath is not None:  # optional: --critpath runs only
+                cpath = mpath + ".critpath"
+                if not isinstance(critpath, dict):
+                    errors.append("{}: not an object".format(cpath))
+                else:
+                    for section in ("attribution_ns", "attribution_fraction"):
+                        block = critpath.get(section)
+                        if not isinstance(block, dict):
+                            errors.append(
+                                "{}.{}: missing or not an object".format(
+                                    cpath, section
+                                )
+                            )
+                            continue
+                        for comp, value in block.items():
+                            if comp not in CRITPATH_COMPONENT_KEYS:
+                                errors.append(
+                                    "{}.{}.{}: unknown component".format(
+                                        cpath, section, comp
+                                    )
+                                )
+                            elif not _is_number(value):
+                                errors.append(
+                                    "{}.{}.{}: not a number".format(
+                                        cpath, section, comp
+                                    )
+                                )
+                    if not _is_number(critpath.get("num_segments")):
+                        errors.append(
+                            "{}.num_segments: missing or not a number".format(cpath)
                         )
             profile = mentry.get("profile")
             if profile is not None:

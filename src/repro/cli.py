@@ -14,6 +14,12 @@ Commands:
 * ``blame <workload> [--model M]``  — systemd-analyze-style attribution:
                                       simulated time per kernel, wall
                                       clock per pipeline phase
+* ``critpath <workload> [--model M] [--whatif]``
+                                    — critical-path profile: which chain
+                                      of TBs/launches/copies determined
+                                      the makespan, hierarchical
+                                      attribution, optimistic what-if
+                                      speedup bounds (``--json``)
 * ``experiments [names...]``        — regenerate paper tables/figures
                                       (``--out DIR`` for JSON reports)
 * ``ablations``                     — the design-choice sweeps
@@ -210,13 +216,13 @@ def cmd_compare(args):
         print(compare_timelines(runs[:1] + runs[2:], width=args.width))
 
 
-def _traced_run(workload, model_name):
+def _traced_run(workload, model_name, per_sm=False, provenance=None):
     """Build, plan, and simulate one workload under full observation.
 
-    Returns ``(app, stats, tracer, metrics)`` — shared by ``trace`` and
-    ``blame``.
+    Returns ``(app, stats, tracer, metrics, plan, model)`` — shared by
+    ``trace``, ``blame``, and ``critpath``.
     """
-    tracer = Tracer()
+    tracer = Tracer(per_sm_counters=per_sm)
     metrics = MetricsRegistry()
     spec = get_workload(workload)
     with tracer.span("workload.build:{}".format(spec.name), cat="ptx"):
@@ -226,12 +232,22 @@ def _traced_run(workload, model_name):
     runtime = BlockMaestroRuntime(tracer=tracer, metrics=metrics)
     plan = runtime.plan(app, reorder=reorder, window=window)
     model = _make_model(model_name, runtime.config)
-    stats = model.run(plan, tracer=tracer, metrics=metrics)
-    return app, stats, tracer, metrics
+    stats = model.run(
+        plan, tracer=tracer, metrics=metrics, provenance=provenance
+    )
+    return app, stats, tracer, metrics, plan, model
 
 
 def cmd_trace(args):
-    app, stats, tracer, metrics = _traced_run(args.workload, args.model)
+    from repro.obs import critpath as cp
+
+    prov = cp.ProvenanceRecorder() if args.critpath else None
+    app, stats, tracer, metrics, plan, _model = _traced_run(
+        args.workload, args.model, per_sm=args.per_sm, provenance=prov
+    )
+    if prov is not None:
+        segments = cp.extract_critical_path(stats, plan, prov)
+        cp.emit_critpath_flow(tracer, segments)
     out = args.output or "{}-trace.json".format(app.name)
     tracer.write(out)
     sidecar = args.metrics_out or (
@@ -239,6 +255,12 @@ def cmd_trace(args):
         else out + ".metrics.json"
     )
     metrics.write(sidecar)
+    if args.json:
+        from repro.obs.report import trace_summary_payload
+
+        _emit_json(trace_summary_payload(stats, tracer, out, sidecar), args.json)
+        if args.json == "-":
+            return
     print("model    :", stats.model)
     print("makespan : {:.1f} us (simulated)".format(stats.makespan_ns / 1000))
     print("events   : {} trace events -> {}".format(len(tracer), out))
@@ -246,8 +268,39 @@ def cmd_trace(args):
 
 
 def cmd_blame(args):
-    _app, stats, tracer, _metrics = _traced_run(args.workload, args.model)
+    _app, stats, tracer, _metrics, _plan, _model = _traced_run(
+        args.workload, args.model
+    )
+    if args.json:
+        from repro.obs.report import blame_payload
+
+        _emit_json(blame_payload(stats, tracer=tracer, limit=args.limit), args.json)
+        if args.json == "-":
+            return
     print(format_blame(stats, tracer=tracer, limit=args.limit))
+
+
+def cmd_critpath(args):
+    from repro.obs import critpath as cp
+
+    prov = cp.ProvenanceRecorder()
+    _app, stats, tracer, _metrics, plan, model = _traced_run(
+        args.workload, args.model, provenance=prov
+    )
+    report = cp.build_report(
+        stats, plan, prov, model.gpu_config,
+        options=model.options(), whatif=args.whatif,
+    )
+    errors = cp.validate_critpath_report(report)
+    if errors:  # a profiler bug, not a user error — fail loudly
+        raise AssertionError(
+            "generated critpath report is invalid: {}".format(errors[:3])
+        )
+    if args.json:
+        _emit_json(report, args.json)
+        if args.json == "-":
+            return
+    print(cp.format_critpath(report, limit=args.limit))
 
 
 def cmd_dot(args):
@@ -314,6 +367,7 @@ def cmd_bench_run(args):
         profile_top=args.profile_top,
         jobs=args.jobs,
         cache_dir=cache_dir,
+        critpath=args.critpath,
     )
     payload = bench.run_suite(config)
     errors = bench.validate_report(payload)
@@ -547,6 +601,23 @@ def build_parser():
         "--metrics-out", default=None, metavar="FILE",
         help="metrics sidecar path (default: <trace>.metrics.json)",
     )
+    p_trace.add_argument(
+        "--per-sm", action="store_true",
+        help="also sample per-SM running_tbs[sm=i] occupancy counters "
+             "(bigger trace)",
+    )
+    p_trace.add_argument(
+        "--critpath", action="store_true",
+        help="overlay the critical path as Perfetto flow-event arrows",
+    )
+    p_trace.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="machine-readable run summary to stdout (no FILE) or FILE",
+    )
 
     p_blame = sub.add_parser(
         "blame", help="attribute simulated/wall time, worst offenders first"
@@ -556,6 +627,38 @@ def build_parser():
     p_blame.add_argument(
         "--limit", type=int, default=None,
         help="show only the N most expensive kernels",
+    )
+    p_blame.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="machine-readable attribution to stdout (no FILE) or FILE",
+    )
+
+    p_cp = sub.add_parser(
+        "critpath",
+        help="critical-path profile: makespan attribution + what-if bounds",
+    )
+    p_cp.add_argument("workload")
+    p_cp.add_argument("--model", choices=MODEL_CHOICES, default="consumer3")
+    p_cp.add_argument(
+        "--whatif", action="store_true",
+        help="also replay with zero launch overhead / infinite SMs / "
+             "dependencies dropped and report speedup bounds",
+    )
+    p_cp.add_argument(
+        "--limit", type=int, default=12,
+        help="path segments to show in text mode (default: 12)",
+    )
+    p_cp.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="schema-validated critpath report to stdout (no FILE) or FILE",
     )
 
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
@@ -630,6 +733,12 @@ def build_parser():
         action="store_true",
         help="embed cProfile top-k cumulative hotspots per workload/model",
     )
+    b_run.add_argument(
+        "--critpath",
+        action="store_true",
+        help="embed per-model critical-path attribution (one extra "
+             "untimed provenance pass per cell; see bench diff)",
+    )
     b_run.add_argument("--profile-top", type=int, default=15, metavar="K")
     b_run.add_argument(
         "--out", default=".", metavar="DIR",
@@ -703,6 +812,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "trace": cmd_trace,
     "blame": cmd_blame,
+    "critpath": cmd_critpath,
     "experiments": cmd_experiments,
     "ablations": cmd_ablations,
     "bench": cmd_bench,

@@ -93,6 +93,7 @@ class ExperimentContext:
     _apps: Dict[str, object] = field(default_factory=dict)
     _plans: Dict[Tuple[str, bool, int], RuntimePlan] = field(default_factory=dict)
     _runs: Dict[Tuple[str, str], object] = field(default_factory=dict)
+    _critpaths: Dict[Tuple[str, str], Dict[str, float]] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.runtime is None:
@@ -133,6 +134,29 @@ class ExperimentContext:
             model = _make_model(model_name, self.gpu_config)
             self._runs[key] = model.run(plan)
         return self._runs[key]
+
+    def critpath_attribution(self, app, model_name):
+        """Critical-path makespan fractions per component, memoized.
+
+        Runs a separate provenance-recording pass (the memoized
+        :meth:`run_model` result stays recording-free), so experiment
+        signatures are untouched.
+        """
+        model_name = canonical_model_name(model_name)
+        key = (app.name, model_name)
+        if key not in self._critpaths:
+            # Imported lazily: critpath imports models.base for what-if
+            # replay, so a module-level import here would be a cycle.
+            from repro.obs.critpath import ProvenanceRecorder, build_report
+
+            reorder, window = _model_plan_params(model_name)
+            plan = self.plan_for(app, reorder, window)
+            model = _make_model(model_name, self.gpu_config)
+            prov = ProvenanceRecorder()
+            stats = model.run(plan, provenance=prov)
+            report = build_report(stats, plan, prov, self.gpu_config)
+            self._critpaths[key] = dict(report["attribution_fraction"])
+        return self._critpaths[key]
 
     def run_all(self, app, model_names=None):
         names = model_names or [m[0] for m in STANDARD_MODELS]

@@ -22,6 +22,7 @@ def run(ctx: ExperimentContext = None, benchmarks=None, models=MODELS):
         for model in models:
             stats = ctx.run_model(app, model)
             q1, median, q3 = stats.stall_quartiles()
+            attr = ctx.critpath_attribution(app, model)
             rows.append(
                 {
                     "benchmark": name,
@@ -30,6 +31,16 @@ def run(ctx: ExperimentContext = None, benchmarks=None, models=MODELS):
                     "median": median,
                     "q3": q3,
                     "max": max(stats.normalized_stalls(), default=0.0),
+                    # critical-path makespan fractions: where the
+                    # end-to-end time actually went (stall quartiles are
+                    # per-TB and do not weight by path membership)
+                    "cp_exec": attr.get("exec", 0.0),
+                    "cp_launch": attr.get("launch", 0.0),
+                    "cp_stall": (
+                        attr.get("dependency", 0.0)
+                        + attr.get("occupancy", 0.0)
+                        + attr.get("barrier", 0.0)
+                    ),
                 }
             )
     return rows
@@ -38,7 +49,8 @@ def run(ctx: ExperimentContext = None, benchmarks=None, models=MODELS):
 def format_rows(rows):
     return format_table(
         rows,
-        ["benchmark", "model", "q1", "median", "q3", "max"],
+        ["benchmark", "model", "q1", "median", "q3", "max",
+         "cp_exec", "cp_launch", "cp_stall"],
         title="Figure 11: dependency stall distribution (normalized to TB time)",
     )
 

@@ -19,7 +19,12 @@ semantics and returns a :class:`~repro.sim.stats.RunStats`:
   buffer-constrained run-ahead (Fig. 14 comparison).
 """
 
-from repro.models.base import EngineOptions, ExecutionEngine, ExecutionModel
+from repro.models.base import (
+    EngineDrainError,
+    EngineOptions,
+    ExecutionEngine,
+    ExecutionModel,
+)
 from repro.models.standard import (
     BlockMaestroModel,
     IdealBaseline,
@@ -30,6 +35,7 @@ from repro.models.cdp import CDPModel
 from repro.models.wireframe import WireframeModel
 
 __all__ = [
+    "EngineDrainError",
     "EngineOptions",
     "ExecutionEngine",
     "ExecutionModel",

@@ -102,6 +102,10 @@ class EngineOptions:
     ready_capacity: Optional[int] = None
     #: count dependency-resolution memory traffic (fine-grain hardware)
     count_dependency_traffic: bool = True
+    #: drop TB-level and kernel-level dependency gating (in-order
+    #: completion chains are kept); used by the critpath what-if
+    #: analyzer's "dependencies dropped" replay — not a real model
+    ignore_dependencies: bool = False
 
 
 class ExecutionModel:
@@ -117,11 +121,17 @@ class ExecutionModel:
     def options(self) -> EngineOptions:
         raise NotImplementedError
 
-    def run(self, plan: RuntimePlan, tracer=None, metrics=None) -> RunStats:
+    def run(
+        self, plan: RuntimePlan, tracer=None, metrics=None, provenance=None
+    ) -> RunStats:
         """Simulate ``plan``; pass a tracer/metrics registry to observe.
 
-        Instrumentation is observation only — results are identical
-        whether or not a tracer is attached.
+        ``provenance`` may be a
+        :class:`repro.obs.critpath.ProvenanceRecorder`; the engine then
+        records per-TB start reasons and kernel launch triggers for
+        critical-path extraction.  Instrumentation is observation only —
+        results are identical whether or not a tracer or recorder is
+        attached.
         """
         tracer = resolve_tracer(tracer)
         metrics = resolve_metrics(metrics)
@@ -133,7 +143,12 @@ class ExecutionModel:
             args={"application": plan.application},
         ):
             engine = ExecutionEngine(
-                plan, self.gpu_config, options, tracer=tracer, metrics=metrics
+                plan,
+                self.gpu_config,
+                options,
+                tracer=tracer,
+                metrics=metrics,
+                provenance=provenance,
             )
             return engine.run()
 
@@ -164,6 +179,22 @@ class _KernelState:
     made_eligible: bool = False
 
 
+class EngineDrainError(RuntimeError):
+    """The event queue drained with work still outstanding.
+
+    Raised instead of silently reporting a truncated makespan when
+    thread blocks were never released (dependency cycle, scheduler bug)
+    or API calls never completed.  ``details`` is a structured dict:
+    ``{"calls": [positions...], "kernels": [{"index", "name",
+    "finished", "num_tbs", "unreleased", "stuck_tbs": [{"tb",
+    "pending_parents", "unmet_parents"} | {"tb", "reason"}]}]}``.
+    """
+
+    def __init__(self, message, details=None):
+        super().__init__(message)
+        self.details = details or {}
+
+
 class ExecutionEngine:
     def __init__(
         self,
@@ -172,14 +203,23 @@ class ExecutionEngine:
         options: EngineOptions,
         tracer=None,
         metrics=None,
+        provenance=None,
+        device=None,
     ):
         self.plan = plan
         self.config = gpu_config
         self.opts = options
         self.tracer = resolve_tracer(tracer)
         self.metrics = resolve_metrics(metrics)
+        #: observation-only recorder of scheduling decisions (critpath)
+        self.prov = provenance
+        #: the event context: what kind of event is currently executing
+        #: (provenance annotation only — never consulted for scheduling)
+        self._ctx = ("host",)
         self.events = EventQueue()
-        self.device = Device(gpu_config, tracer=self.tracer, metrics=self.metrics)
+        self.device = device if device is not None else Device(
+            gpu_config, tracer=self.tracer, metrics=self.metrics
+        )
         self.timing = gpu_config.timing
         self.kernels = [_KernelState(plan=kp) for kp in plan.kernels]
         self.call_done = [False] * len(plan.order)
@@ -270,6 +310,8 @@ class ExecutionEngine:
     # main entry
     # ------------------------------------------------------------------
     def run(self) -> RunStats:
+        if self.prov is not None:
+            self.prov.begin(self)
         self._init_fine_grain()
         self.events.schedule(0.0, self._host_resume)
         makespan = self.events.run()
@@ -294,6 +336,8 @@ class ExecutionEngine:
         )
         self._check_all_complete()
         stats.validate_invariants()
+        if self.prov is not None:
+            self.prov.finalize(self)
         self._emit_trace(stats)
         self._record_metrics(stats)
         return stats
@@ -386,15 +430,78 @@ class ExecutionEngine:
             m.observe("engine.tb_duration_ns", tb.duration_ns)
 
     def _check_all_complete(self):
-        for i, done in enumerate(self.call_done):
-            if not done:
-                raise RuntimeError(
-                    "simulation drained with call %d (%s) incomplete"
-                    % (i, self.plan.order[i])
-                )
-        for ks in self.kernels:
-            if not ks.completed:
-                raise RuntimeError("kernel %s never completed" % ks.plan.name)
+        pending_calls = [p for p, done in enumerate(self.call_done) if not done]
+        stuck_kernels = [ks for ks in self.kernels if not ks.completed]
+        if not pending_calls and not stuck_kernels:
+            return
+        raise self._drain_error(pending_calls, stuck_kernels)
+
+    def _drain_error(self, pending_calls, stuck_kernels):
+        """Structured diagnosis of a drained-but-incomplete run: name
+        the stuck thread blocks and their unmet parents."""
+        kernel_rows = []
+        for ks in stuck_kernels:
+            ki = ks.plan.kernel_index
+            unreleased = [
+                tb for tb in range(ks.plan.num_tbs)
+                if tb not in ks.tb_finish_ns
+            ]
+            stuck_tbs = []
+            for tb in unreleased[:8]:
+                if ks.pending_counters is not None:
+                    prev = ks.plan.chain_prev
+                    parent = self.kernels[prev] if prev is not None else None
+                    parents = self._parents_of.get(ki, [[]] * ks.plan.num_tbs)
+                    unmet = [
+                        p for p in parents[tb]
+                        if parent is None or p not in parent.tb_finish_ns
+                    ]
+                    stuck_tbs.append({
+                        "tb": tb,
+                        "pending_parents": ks.pending_counters[tb],
+                        "unmet_parents": unmet[:8],
+                    })
+                elif not ks.resident:
+                    stuck_tbs.append(
+                        {"tb": tb, "reason": "kernel never became resident"}
+                    )
+                else:
+                    stuck_tbs.append(
+                        {"tb": tb, "reason": "kernel-level gate never opened"}
+                    )
+            kernel_rows.append({
+                "index": ki,
+                "name": ks.plan.name,
+                "finished": ks.finished,
+                "num_tbs": ks.plan.num_tbs,
+                "unreleased": len(unreleased),
+                "stuck_tbs": stuck_tbs,
+            })
+        bits = []
+        for row in kernel_rows[:4]:
+            desc = "k{} {} ({}/{} TBs finished, {} unreleased".format(
+                row["index"], row["name"], row["finished"], row["num_tbs"],
+                row["unreleased"],
+            )
+            if row["stuck_tbs"]:
+                first = row["stuck_tbs"][0]
+                if "unmet_parents" in first:
+                    desc += "; tb {} waits on {} parents, e.g. {}".format(
+                        first["tb"], first["pending_parents"],
+                        first["unmet_parents"],
+                    )
+                else:
+                    desc += "; " + first["reason"]
+            bits.append(desc + ")")
+        if len(kernel_rows) > 4:
+            bits.append("... {} more kernels".format(len(kernel_rows) - 4))
+        if pending_calls:
+            bits.append("calls {} incomplete".format(pending_calls[:6]))
+        return EngineDrainError(
+            "event queue drained with work still outstanding: "
+            + "; ".join(bits),
+            details={"calls": pending_calls, "kernels": kernel_rows},
+        )
 
     def _kernel_records(self):
         records = []
@@ -416,6 +523,8 @@ class ExecutionEngine:
         return records
 
     def _init_fine_grain(self):
+        if self.opts.ignore_dependencies:
+            return  # what-if replay: no parent counters, no gating
         for ks in self.kernels:
             graph = ks.plan.graph
             if (
@@ -463,6 +572,7 @@ class ExecutionEngine:
     # command queue
     # ------------------------------------------------------------------
     def _enqueue(self, position):
+        self._ctx = ("enqueue", position)
         self.call_enqueued[position] = True
         self.call_enqueued_ns[position] = self.events.now
         call = self.plan.order[position]
@@ -493,13 +603,21 @@ class ExecutionEngine:
 
     def _start_command(self, position, call):
         now = self.events.now
+        if self.prov is not None:
+            self.prov.note_call_start(position, now)
         if isinstance(call, MallocCall):
             duration = self.timing.malloc_ns
         elif isinstance(call, (MemcpyH2D, MemcpyD2H)):
             duration = self.timing.memcpy_ns(call.bytes)
         else:  # synchronizes, events, waits: bookkeeping only
             duration = 0.0
-        self.events.schedule(now + duration, lambda: self._complete_call(position))
+        self.events.schedule(
+            now + duration, lambda: self._scheduled_complete(position)
+        )
+
+    def _scheduled_complete(self, position):
+        self._ctx = ("call", position)
+        self._complete_call(position)
 
     def _complete_call(self, position):
         if self.call_done[position]:
@@ -547,6 +665,10 @@ class ExecutionEngine:
                 ks.launched = True
                 ks.launch_begin_ns = self.events.now
                 ks.input_ready_ns = self._input_ready_ns(position)
+                if self.prov is not None:
+                    self.prov.note_launch_trigger(
+                        ki, self.events.now, self._ctx
+                    )
                 self.call_started[position] = True
                 self._stream_launch_cursor[stream] = cursor + 1
                 self.events.schedule(
@@ -593,6 +715,7 @@ class ExecutionEngine:
         return ready
 
     def _launch_done(self, ki):
+        self._ctx = ("launch", ki)
         ks = self.kernels[ki]
         ks.resident = True
         ks.resident_ns = self.events.now
@@ -607,6 +730,8 @@ class ExecutionEngine:
         ks = self.kernels[ki]
         if not ks.resident:
             return False
+        if self.opts.ignore_dependencies:
+            return True
         # cross-stream data dependencies: coarse completion barriers
         for dep in ks.plan.cross_stream_deps:
             if not self.kernels[dep].completed:
@@ -631,7 +756,9 @@ class ExecutionEngine:
         graph = ks.plan.graph
         if not ks.made_eligible:
             ks.made_eligible = True
-            if self.opts.fine_grain and graph is not None:
+            if self.opts.ignore_dependencies:
+                self._push_all_tbs(ks)
+            elif self.opts.fine_grain and graph is not None:
                 if graph.is_fully_connected:
                     # children wait for the whole parent kernel
                     if not self.kernels[ks.plan.chain_prev].all_tbs_done:
@@ -666,14 +793,23 @@ class ExecutionEngine:
             return
         ks.ready.append(tb)
         ks.queued_ready += 1
+        if self.prov is not None:
+            self.prov.note_ready(
+                ks.plan.kernel_index, tb, self.events.now, self._ctx
+            )
 
     def _drain_deferred(self, ks):
         capacity = self.opts.ready_capacity
         while ks.deferred_ready and (
             capacity is None or self._tracked_tasks(ks) < capacity
         ):
-            ks.ready.append(ks.deferred_ready.popleft())
+            tb = ks.deferred_ready.popleft()
+            ks.ready.append(tb)
             ks.queued_ready += 1
+            if self.prov is not None:
+                self.prov.note_ready(
+                    ks.plan.kernel_index, tb, self.events.now, self._ctx
+                )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -714,6 +850,10 @@ class ExecutionEngine:
                 if sm is None:
                     break  # saturated for this block size; try others
                 tb = ks.ready.popleft()
+                if self.prov is not None:
+                    self.prov.note_start(
+                        ks.plan.kernel_index, tb, now, self._ctx
+                    )
                 self._drain_deferred(ks)
                 ks.dispatched += 1
                 if ks.first_tb_start_ns is None:
@@ -741,6 +881,8 @@ class ExecutionEngine:
         when were this block's dependencies actually satisfied?)."""
         ki = ks.plan.kernel_index
         ready = ks.input_ready_ns
+        if self.opts.ignore_dependencies:
+            return ready  # only input data gates blocks in this replay
         graph = ks.plan.graph
         if graph is not None and ks.plan.chain_prev is not None:
             parent = self.kernels[ks.plan.chain_prev]
@@ -763,11 +905,12 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     def _tb_finished(self, ks, tb, sm, threads):
         now = self.events.now
+        ki = ks.plan.kernel_index
+        self._ctx = ("tb_finish", ki, tb)
         self.device.release(sm, threads, now)
         ks.finished += 1
         ks.tb_finish_ns[tb] = now
         self._drain_deferred(ks)  # a tracking entry freed up
-        ki = ks.plan.kernel_index
         child_ki = ks.plan.chain_next
         # resolve children's parent counters (dependency list lookup)
         if self.opts.fine_grain and child_ki is not None:
@@ -782,6 +925,7 @@ class ExecutionEngine:
             ks.all_tbs_done = True
             ks.all_tbs_done_ns = now
             self._on_all_tbs_done(ki)
+            self._ctx = ("tb_finish", ki, tb)  # leaving the cascade
         if child_ki is not None:
             self._refresh_ready(child_ki)
         self._dispatch()
@@ -798,6 +942,7 @@ class ExecutionEngine:
                 break
             ks.completed = True
             ks.completed_ns = self.events.now
+            self._ctx = ("completion", idx)
             self._complete_call(ks.plan.order_position)
             # downstream kernels gated on this completion may unblock:
             # same-stream descendants (grandparent barriers, coarse

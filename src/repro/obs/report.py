@@ -184,6 +184,41 @@ def format_blame(stats, tracer=None, limit=None):
     return "\n".join(lines)
 
 
+def blame_payload(stats, tracer=None, limit=None):
+    """Machine-readable form of :func:`format_blame` (``blame --json``)."""
+    rows = kernel_blame_rows(stats)
+    if limit is not None:
+        rows = rows[:limit]
+    q1, median, q3 = stats.stall_quartiles()
+    payload = {
+        "kind": "repro-blame-report",
+        "workload": stats.application,
+        "model": stats.model,
+        "makespan_ns": stats.makespan_ns,
+        "stall_quartiles": {"q1": q1, "median": median, "q3": q3},
+        "kernels": rows,
+    }
+    if tracer is not None and getattr(tracer, "enabled", False):
+        payload["wall_phases"] = [
+            {"name": name, "total_us": total, "count": count}
+            for name, total, count in tracer.wall_phase_totals()
+        ]
+    return payload
+
+
+def trace_summary_payload(stats, tracer, trace_path, metrics_path):
+    """Machine-readable summary printed by ``trace --json``."""
+    return {
+        "kind": "repro-trace-summary",
+        "workload": stats.application,
+        "model": stats.model,
+        "makespan_ns": stats.makespan_ns,
+        "num_events": len(tracer),
+        "trace": trace_path,
+        "metrics": metrics_path,
+    }
+
+
 # ----------------------------------------------------------------------
 # experiment report artifacts
 # ----------------------------------------------------------------------

@@ -91,8 +91,11 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, per_sm_counters=False):
         self._clock = clock or time.perf_counter
+        #: opt-in: the device also samples per-SM ``running_tbs[sm=i]``
+        #: counters (off by default to keep trace size bounded)
+        self.per_sm_counters = per_sm_counters
         self._epoch = self._clock()
         self._events = []
         self._named_threads = set()
@@ -183,6 +186,22 @@ class Tracer:
     def async_end(self, name, ts_us, event_id, cat="", pid=PID_SM, tid=0):
         self._event(name, "e", ts_us, pid, tid, cat, None, id=str(event_id))
 
+    def flow(self, name, ts_us, flow_id, phase, cat="", pid=PID_RUNTIME,
+             tid=0, args=None):
+        """A flow event (``ph:"s"/"t"/"f"``): Perfetto draws arrows
+        between flow points sharing ``flow_id``, letting one logical
+        chain (e.g. the critical path) span process/thread rows.
+
+        ``phase`` is ``"begin"``, ``"step"``, or ``"end"``.  The ``"f"``
+        end event carries ``bp:"e"`` so the final arrow binds to the
+        enclosing slice rather than the next one.
+        """
+        ph = {"begin": "s", "step": "t", "end": "f"}[phase]
+        extra = {"id": str(flow_id)}
+        if ph == "f":
+            extra["bp"] = "e"
+        self._event(name, ph, ts_us, pid, tid, cat, args, **extra)
+
     # ------------------------------------------------------------------
     # inspection / export
     # ------------------------------------------------------------------
@@ -248,6 +267,7 @@ class NullTracer:
     """No-op tracer with the full :class:`Tracer` API surface."""
 
     enabled = False
+    per_sm_counters = False
 
     def name_thread(self, pid, tid, name):
         pass
@@ -271,6 +291,10 @@ class NullTracer:
         pass
 
     def async_end(self, name, ts_us, event_id, cat="", pid=PID_SM, tid=0):
+        pass
+
+    def flow(self, name, ts_us, flow_id, phase, cat="", pid=PID_RUNTIME,
+             tid=0, args=None):
         pass
 
     def events(self, ph=None, pid=None, cat_prefix=None):

@@ -53,7 +53,7 @@ class Device:
         self.peak_concurrency = 0
         self.placements = 0
 
-    def _sample_occupancy(self, now_ns):
+    def _sample_occupancy(self, now_ns, sm=None):
         self.tracer.counter(
             "running_tbs",
             {"running": self.running},
@@ -61,6 +61,14 @@ class Device:
             cat="device",
             pid=PID_DEVICE,
         )
+        if sm is not None and getattr(self.tracer, "per_sm_counters", False):
+            self.tracer.counter(
+                "running_tbs[sm={:02d}]".format(sm.index),
+                {"running": sm.resident_tbs},
+                ts_us=now_ns / 1e3,
+                cat="device.sm",
+                pid=PID_DEVICE,
+            )
 
     # ------------------------------------------------------------------
     def _advance(self, now_ns):
@@ -104,7 +112,7 @@ class Device:
         self.placements += 1
         self.peak_concurrency = max(self.peak_concurrency, self.running)
         if self.tracer.enabled:
-            self._sample_occupancy(now_ns)
+            self._sample_occupancy(now_ns, sm=best)
         return best.index
 
     def release(self, sm_index, threads_per_tb, now_ns):
@@ -116,7 +124,7 @@ class Device:
         sm.resident_threads -= threads_per_tb
         self.running -= 1
         if self.tracer.enabled:
-            self._sample_occupancy(now_ns)
+            self._sample_occupancy(now_ns, sm=sm)
 
     def finalize(self, now_ns):
         """Close the concurrency integral at end of simulation."""
@@ -127,3 +135,32 @@ class Device:
             m.set_gauge("device.busy_ns", self.busy_ns)
             m.set_gauge("device.concurrency_integral", self.concurrency_integral)
             m.inc("device.tb_placements", self.placements)
+
+
+class UnboundedDevice(Device):
+    """A device with no occupancy limits — every placement succeeds.
+
+    Used by the what-if analyzer's ``infinite_sms`` replay: placement is
+    O(1) (everything lands on SM 0) so the replay does not pay the
+    least-loaded scan over an artificially huge SM array.  Accounting
+    (concurrency integral, busy time, counters) matches :class:`Device`.
+    """
+
+    def __init__(self, config: GPUConfig, tracer=None, metrics=None):
+        super().__init__(config, tracer=tracer, metrics=metrics)
+        self.sms = [SMState(0)]
+
+    def free_slots(self, threads_per_tb):
+        return 1 << 30
+
+    def try_place(self, threads_per_tb, now_ns):
+        self._advance(now_ns)
+        sm = self.sms[0]
+        sm.resident_tbs += 1
+        sm.resident_threads += threads_per_tb
+        self.running += 1
+        self.placements += 1
+        self.peak_concurrency = max(self.peak_concurrency, self.running)
+        if self.tracer.enabled:
+            self._sample_occupancy(now_ns, sm=sm)
+        return 0

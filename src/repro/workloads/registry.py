@@ -148,8 +148,20 @@ def _extra_specs():
         # cheap, but keeping it out of module import also avoids any
         # future cycle through the registry.
         from repro.workloads.microbench import fastpath_specs
+        from repro.workloads.rodinia import build_backprop
 
         _EXTRAS = {spec.name: spec for spec in fastpath_specs()}
+        # Rodinia's backprop is the paper's running example (Fig. 1)
+        # but not a Table II row, so it resolves by name without
+        # joining the default suite.
+        backprop = WorkloadSpec(
+            "backprop",
+            "Back Propagation: per-unit layer-forward reductions + "
+            "weight adjustment (paper Fig. 1 running example)",
+            "Rodinia", 2, (4, 5), build_backprop,
+            small_overrides={"in_blocks": 16, "hidden": 4},
+        )
+        _EXTRAS[backprop.name] = backprop
     return _EXTRAS
 
 

@@ -347,3 +347,62 @@ def build_pathfinder(iterations=5, cols_of_blocks=256, intensity=1.0):
     return b.build(
         table2_kernels=iterations, table2_patterns=(6,), iterations=iterations
     )
+
+
+def build_backprop(in_blocks=64, hidden=16, intensity=1.0):
+    """Back Propagation: one forward-layer reduction per hidden unit
+    (each hidden neuron sums its input column — pattern 5, n-to-1),
+    then a weight-adjust pass scaling each unit's weight column by its
+    error delta (pattern 4, scalar broadcast).  The per-unit reduce ->
+    scale pairs are what BlockMaestro's TB-level dependency resolution
+    overlaps; the serialized baseline pays a full kernel boundary per
+    unit."""
+    b = AppBuilder("backprop")
+    elems = in_blocks * 256
+    per_unit = elems // hidden
+    inp = b.alloc("INPUT", elems * _ELEM)
+    weights = b.alloc("WEIGHTS", elems * _ELEM)
+    partial = b.alloc("HIDDEN", hidden * _ELEM)
+    delta = b.alloc("DELTA", hidden * _ELEM)
+    b.h2d(inp)
+    b.h2d(weights)
+    forward = ptxgen.reduce_columns("bpnn_layerforward")
+    adjust = ptxgen.broadcast_scale("bpnn_adjust_weights")
+    for h in range(hidden):
+        b.launch(
+            forward,
+            grid=1,
+            block=1,
+            args={
+                "IN": inp,
+                "OUT": partial,
+                "STRIDE": 1,
+                "COUNT": per_unit,
+                "OFF": h * per_unit,
+                "OUTOFF": h,
+            },
+            intensity=intensity,
+            tag="bpnn_layerforward",
+        )
+    b.d2h(partial)
+    b.h2d(delta)  # host computes the output error deltas
+    blocks_per_unit = max(1, in_blocks // hidden)
+    for h in range(hidden):
+        b.launch(
+            adjust,
+            grid=blocks_per_unit,
+            block=256,
+            args={
+                "IN": weights,
+                "SCALARS": delta,
+                "OUT": weights,
+                "SIDX": h,
+                "OFF": h * blocks_per_unit * 256,
+            },
+            intensity=intensity,
+            tag="bpnn_adjust_weights",
+        )
+    b.d2h(weights)
+    return b.build(
+        table2_kernels=2, table2_patterns=(4, 5), hidden_units=hidden
+    )
