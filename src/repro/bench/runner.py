@@ -41,7 +41,6 @@ pair, see ``docs/analysis.md``) are folded into the report's
 import cProfile
 import os
 import pstats
-import sys
 import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -57,6 +56,7 @@ from repro.experiments.common import (
     canonical_model_name,
 )
 from repro.obs import MetricsRegistry, Tracer
+from repro.obs.log import Heartbeat, get_logger
 from repro.obs.metrics import percentile
 from repro.obs.report import dump_json
 from repro.parallel import SuiteExecutor
@@ -339,7 +339,7 @@ def _run_cell(cell):
     return entry, cell_metrics.snapshot()
 
 
-def run_suite(config, log=None, executor=None):
+def run_suite(config, log=None, executor=None, status_file=None):
     """Execute the configured suite; returns the report payload dict.
 
     Cells — independent (workload, model) pairs — are dispatched through
@@ -347,8 +347,14 @@ def run_suite(config, log=None, executor=None):
     and merged back in deterministic suite order, so a ``--jobs 4``
     report carries exactly the simulated signatures of a serial run.
     Host and git metadata are captured once per report, up front.
+
+    Progress goes through the ``bench`` logger (``REPRO_LOG`` /
+    ``--log-json``) and a :class:`~repro.obs.log.Heartbeat` that ticks
+    once per finished cell: a live line on a TTY, plus an atomically
+    rewritten JSON status file when ``status_file`` (or
+    ``REPRO_STATUS_FILE``) names one.
     """
-    log = log if log is not None else (lambda msg: print(msg, file=sys.stderr))
+    log = log if log is not None else get_logger("bench").info
     # hoisted: one capture per report, not per cell/repeat — git metadata
     # alone is three subprocess invocations
     host_meta = schema.host_metadata()
@@ -363,10 +369,39 @@ def run_suite(config, log=None, executor=None):
     for cell in cells:
         log("bench: {} x {} (warmup {}, repeats {})".format(
             cell[0], cell[1], cell[3], cell[2]))
+    heartbeat = Heartbeat(
+        len(cells), phase="bench", status_path=status_file
+    )
+    cache_tally = {"hits": 0.0, "misses": 0.0}
+
+    def _on_result(result):
+        _entry, snapshot = result.value
+        for name, value in snapshot["counters"].items():
+            if name.startswith("cache.") and name.endswith(".hits"):
+                cache_tally["hits"] += value
+            elif name.startswith("cache.") and name.endswith(".misses"):
+                cache_tally["misses"] += value
+        lookups = cache_tally["hits"] + cache_tally["misses"]
+        heartbeat.advance(
+            current="{} x {}".format(
+                cells[result.index][0], cells[result.index][1]
+            ),
+            cache_hit_rate=(
+                cache_tally["hits"] / lookups if lookups else None
+            ),
+        )
+
     if executor is None:
-        executor = SuiteExecutor(jobs=config.jobs, log=log)
+        executor = SuiteExecutor(
+            jobs=config.jobs, log=log, on_result=_on_result
+        )
+    elif getattr(executor, "on_result", None) is None:
+        executor.on_result = _on_result
     merged_metrics = MetricsRegistry()
-    results = executor.map(_run_cell, cells)
+    try:
+        results = executor.map(_run_cell, cells)
+    finally:
+        heartbeat.finish()
 
     workloads = {}
     baseline_makespans = {}

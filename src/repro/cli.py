@@ -20,6 +20,13 @@ Commands:
                                       the makespan, hierarchical
                                       attribution, optimistic what-if
                                       speedup bounds (``--json``)
+* ``journal <workload> [--model M]`` — record the engine's flight
+                                      recorder: every scheduling event
+                                      with its release edge, as digested
+                                      JSONL (``docs/observability.md``)
+* ``jdiff <A> <B> [--window N]``    — align two journals, report the
+                                      first divergence with blame and a
+                                      waterfall window; exit 1 on drift
 * ``experiments [names...]``        — regenerate paper tables/figures
                                       (``--out DIR`` for JSON reports)
 * ``ablations``                     — the design-choice sweeps
@@ -57,7 +64,7 @@ from repro.experiments.common import (
     format_table,
 )
 from repro.obs import MetricsRegistry, Tracer
-from repro.obs.report import dump_json, format_blame, run_stats_dict
+from repro.obs.report import dump_json, format_blame, run_stats_dict, write_text
 from repro.sim.timeline import compare_timelines, render_kernel_timeline
 from repro.workloads import UnknownWorkloadError, all_workloads, get_workload
 
@@ -261,10 +268,15 @@ def cmd_trace(args):
         _emit_json(trace_summary_payload(stats, tracer, out, sidecar), args.json)
         if args.json == "-":
             return
-    print("model    :", stats.model)
-    print("makespan : {:.1f} us (simulated)".format(stats.makespan_ns / 1000))
-    print("events   : {} trace events -> {}".format(len(tracer), out))
-    print("metrics  : {} -> open the trace at https://ui.perfetto.dev".format(sidecar))
+    write_text(
+        "model    : {}\n"
+        "makespan : {:.1f} us (simulated)\n"
+        "events   : {} trace events -> {}\n"
+        "metrics  : {} -> open the trace at https://ui.perfetto.dev".format(
+            stats.model, stats.makespan_ns / 1000, len(tracer), out, sidecar
+        ),
+        args.out,
+    )
 
 
 def cmd_blame(args):
@@ -277,7 +289,7 @@ def cmd_blame(args):
         _emit_json(blame_payload(stats, tracer=tracer, limit=args.limit), args.json)
         if args.json == "-":
             return
-    print(format_blame(stats, tracer=tracer, limit=args.limit))
+    write_text(format_blame(stats, tracer=tracer, limit=args.limit), args.out)
 
 
 def cmd_critpath(args):
@@ -301,6 +313,50 @@ def cmd_critpath(args):
         if args.json == "-":
             return
     print(cp.format_critpath(report, limit=args.limit))
+
+
+def cmd_journal(args):
+    from repro.obs import journal as jr
+
+    recorder, stats = jr.record_run(args.workload, args.model)
+    errors = jr.validate_journal(recorder.header(), recorder.events)
+    if errors:  # a recorder bug, not a user error — fail loudly
+        raise AssertionError(
+            "recorded journal is invalid: {}".format(errors[:3])
+        )
+    out = args.out or "{}-{}.journal.jsonl".format(
+        recorder.application, recorder.model
+    )
+    jr.write_journal(recorder, out)
+    print("model    :", stats.model)
+    print("makespan : {:.1f} us (simulated)".format(stats.makespan_ns / 1000))
+    print("events   : {} journal events -> {}".format(
+        len(recorder.events), out
+    ))
+    print("digest   :", recorder.digest())
+
+
+def cmd_jdiff(args):
+    from repro.obs import jdiff as jd
+    from repro.obs import journal as jr
+
+    try:
+        a_header, a_events = jr.load_journal(args.a)
+        b_header, b_events = jr.load_journal(args.b)
+    except (OSError, ValueError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    report = jd.diff_journals(
+        a_header, a_events, b_header, b_events,
+        window=args.window, a_label=args.a, b_label=args.b,
+    )
+    exit_code = 0 if report["identical"] else 1
+    if args.json:
+        _emit_json(report, args.json)
+        if args.json == "-":
+            return exit_code
+    print(jd.format_jdiff(report))
+    return exit_code
 
 
 def cmd_dot(args):
@@ -369,7 +425,7 @@ def cmd_bench_run(args):
         cache_dir=cache_dir,
         critpath=args.critpath,
     )
-    payload = bench.run_suite(config)
+    payload = bench.run_suite(config, status_file=args.status_file)
     errors = bench.validate_report(payload)
     if errors:  # a schema bug, not a user error — fail loudly
         raise AssertionError("generated report is invalid: {}".format(errors[:3]))
@@ -435,6 +491,25 @@ def cmd_bench_diff(args):
         old, new, tolerance=args.tolerance, min_seconds=args.min_seconds
     )
     print(bench.format_diff(result, tolerance=args.tolerance, strict=args.strict))
+    if args.forensics and result.drift:
+        from repro.obs import jdiff as jd
+
+        # one forensics pass per drifted (workload, model) cell: record
+        # two fresh journals on the *current* code (reference fastpath
+        # vs ambient mode) and localize the first diverging event
+        drifted = sorted({(d.workload, d.model) for d in result.drift})
+        for wname, mname in drifted:
+            print()
+            print("forensics: re-recording {} x {} ...".format(wname, mname))
+            forensic = jd.drift_forensics(wname, mname)
+            print(jd.format_jdiff(forensic))
+            if forensic["identical"]:
+                print(
+                    "forensics: engine is internally consistent on this "
+                    "code — the drift comes from code changes between the "
+                    "reports; record `repro journal {} --model {}` at each "
+                    "commit and jdiff those".format(wname, mname)
+                )
     return 1 if result.failed(strict=args.strict) else 0
 
 
@@ -451,12 +526,14 @@ def cmd_bench_fastpath(args):
             )
             return 1
         return 0
+    from repro.obs.log import get_logger
+
     summary = fp.run_fastpath_bench(
         args.out,
         repeats=args.repeats,
         warmup=args.warmup,
         jobs=args.jobs,
-        log=lambda msg: print(msg, file=sys.stderr),
+        log=get_logger("bench").info,
     )
     rows = [
         {"workload": wname, "encode_speedup": speedup}
@@ -523,7 +600,10 @@ def cmd_bench(args):
 def cmd_experiments(args):
     from repro.experiments import runner
 
-    runner.run_all(args.names or None, out_dir=args.out, jobs=args.jobs)
+    runner.run_all(
+        args.names or None, out_dir=args.out, jobs=args.jobs,
+        status_file=args.status_file,
+    )
 
 
 def cmd_ablations(_args):
@@ -535,6 +615,16 @@ def cmd_ablations(_args):
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="BlockMaestro reproduction toolkit"
+    )
+    parser.add_argument(
+        "--log", default=None, metavar="LEVEL[:SUBSYS,...]",
+        help="stderr log threshold, optionally scoped to subsystems "
+             "(e.g. debug or debug:bench,parallel); overrides $REPRO_LOG",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines (one object per line); "
+             "same as REPRO_LOG_JSON=1",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -618,6 +708,10 @@ def build_parser():
         metavar="FILE",
         help="machine-readable run summary to stdout (no FILE) or FILE",
     )
+    p_trace.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the text summary to FILE instead of stdout",
+    )
 
     p_blame = sub.add_parser(
         "blame", help="attribute simulated/wall time, worst offenders first"
@@ -635,6 +729,10 @@ def build_parser():
         default=None,
         metavar="FILE",
         help="machine-readable attribution to stdout (no FILE) or FILE",
+    )
+    p_blame.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the text attribution to FILE instead of stdout",
     )
 
     p_cp = sub.add_parser(
@@ -661,6 +759,39 @@ def build_parser():
         help="schema-validated critpath report to stdout (no FILE) or FILE",
     )
 
+    p_journal = sub.add_parser(
+        "journal",
+        help="record the engine flight recorder as digested JSONL",
+    )
+    p_journal.add_argument("workload")
+    p_journal.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3"
+    )
+    p_journal.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="journal path (default: <workload>-<model>.journal.jsonl)",
+    )
+
+    p_jdiff = sub.add_parser(
+        "jdiff",
+        help="first-divergence diff of two journals; exit 1 on drift",
+    )
+    p_jdiff.add_argument("a", help="reference *.journal.jsonl")
+    p_jdiff.add_argument("b", help="candidate *.journal.jsonl")
+    p_jdiff.add_argument(
+        "--window", type=int, default=8, metavar="N",
+        help="waterfall context events on each side of the divergence "
+             "(default: 8)",
+    )
+    p_jdiff.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="machine-readable jdiff report to stdout (no FILE) or FILE",
+    )
+
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     p_exp.add_argument("names", nargs="*")
     p_exp.add_argument(
@@ -670,6 +801,11 @@ def build_parser():
     p_exp.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="run independent experiments on N worker processes",
+    )
+    p_exp.add_argument(
+        "--status-file", default=None, metavar="FILE",
+        help="atomically rewrite a JSON progress snapshot here after "
+             "every experiment (also $REPRO_STATUS_FILE)",
     )
 
     p_dot = sub.add_parser("dot", help="Graphviz DOT of a kernel-pair graph")
@@ -748,6 +884,11 @@ def build_parser():
         "-o", "--output", default=None, metavar="FILE",
         help="explicit report path (overrides --out naming)",
     )
+    b_run.add_argument(
+        "--status-file", default=None, metavar="FILE",
+        help="atomically rewrite a JSON progress snapshot here after "
+             "every suite cell (also $REPRO_STATUS_FILE)",
+    )
 
     b_diff = bench_sub.add_parser(
         "diff", help="compare two reports; non-zero exit on regression"
@@ -765,6 +906,12 @@ def build_parser():
     b_diff.add_argument(
         "--strict", action="store_true",
         help="also fail when entries present in OLD are missing from NEW",
+    )
+    b_diff.add_argument(
+        "--forensics", action="store_true",
+        help="on simulated drift, re-record each drifted cell's journal "
+             "under REPRO_FASTPATH=reference vs the current mode and "
+             "print the first-divergence jdiff",
     )
 
     b_fp = bench_sub.add_parser(
@@ -813,6 +960,8 @@ COMMANDS = {
     "trace": cmd_trace,
     "blame": cmd_blame,
     "critpath": cmd_critpath,
+    "journal": cmd_journal,
+    "jdiff": cmd_jdiff,
     "experiments": cmd_experiments,
     "ablations": cmd_ablations,
     "bench": cmd_bench,
@@ -821,6 +970,13 @@ COMMANDS = {
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.log is not None or args.log_json:
+        from repro.obs.log import configure
+
+        configure(
+            spec=args.log,
+            json_lines=True if args.log_json else None,
+        )
     try:
         return COMMANDS[args.command](args) or 0
     except (UnknownWorkloadError, UnknownModelError) as exc:

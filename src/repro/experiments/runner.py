@@ -22,6 +22,7 @@ field and the ``[... finished in Ns]`` footers).
 import sys
 import time
 
+from repro.obs.log import Heartbeat
 from repro.obs.report import write_experiment_report
 from repro.parallel import SuiteExecutor
 
@@ -81,30 +82,43 @@ def _run_one_task(name):
     return _run_one(name)
 
 
-def run_all(names=None, stream=sys.stdout, out_dir=None, jobs=1):
+def run_all(names=None, stream=sys.stdout, out_dir=None, jobs=1,
+            status_file=None):
     names = list(names or EXPERIMENTS)
     results = {}
-    if jobs > 1:
-        executor = SuiteExecutor(jobs=jobs)
-        produced = executor.map(_run_one_task, names)
-    else:
-        # serial: one shared context keeps plans/runs memoized across
-        # experiments (the pre---jobs behavior, bit for bit)
-        ctx = common.ExperimentContext()
-        produced = None
-    for index, name in enumerate(names):
-        if produced is not None:
-            rows, elapsed = produced[index]
+    heartbeat = Heartbeat(
+        len(names), phase="experiments", status_path=status_file
+    )
+    try:
+        if jobs > 1:
+            executor = SuiteExecutor(
+                jobs=jobs,
+                on_result=lambda result: heartbeat.advance(
+                    current=names[result.index]
+                ),
+            )
+            produced = executor.map(_run_one_task, names)
         else:
-            rows, elapsed = _run_one(name, ctx)
-        module = EXPERIMENTS[name]
-        results[name] = rows
-        stream.write(module.format_rows(rows))
-        stream.write("\n[{} finished in {:.1f}s]\n\n".format(name, elapsed))
-        stream.flush()
-        if out_dir:
-            path = write_experiment_report(out_dir, name, rows, elapsed)
-            stream.write("[report: {}]\n".format(path))
+            # serial: one shared context keeps plans/runs memoized across
+            # experiments (the pre---jobs behavior, bit for bit)
+            ctx = common.ExperimentContext()
+            produced = None
+        for index, name in enumerate(names):
+            if produced is not None:
+                rows, elapsed = produced[index]
+            else:
+                rows, elapsed = _run_one(name, ctx)
+                heartbeat.advance(current=name)
+            module = EXPERIMENTS[name]
+            results[name] = rows
+            stream.write(module.format_rows(rows))
+            stream.write("\n[{} finished in {:.1f}s]\n\n".format(name, elapsed))
+            stream.flush()
+            if out_dir:
+                path = write_experiment_report(out_dir, name, rows, elapsed)
+                stream.write("[report: {}]\n".format(path))
+    finally:
+        heartbeat.finish()
     return results
 
 
@@ -124,6 +138,7 @@ def main(argv=None):
     argv = list(argv if argv is not None else sys.argv[1:])
     output_path = _pop_flag(argv, "--output")
     out_dir = _pop_flag(argv, "--out")
+    status_file = _pop_flag(argv, "--status-file")
     jobs_value = _pop_flag(argv, "--jobs")
     try:
         jobs = int(jobs_value) if jobs_value is not None else 1
@@ -138,10 +153,12 @@ def main(argv=None):
         )
     if output_path:
         with open(output_path, "w") as handle:
-            run_all(argv or None, stream=handle, out_dir=out_dir, jobs=jobs)
+            run_all(argv or None, stream=handle, out_dir=out_dir, jobs=jobs,
+                    status_file=status_file)
         print("wrote", output_path)
     else:
-        run_all(argv or None, out_dir=out_dir, jobs=jobs)
+        run_all(argv or None, out_dir=out_dir, jobs=jobs,
+                status_file=status_file)
 
 
 if __name__ == "__main__":

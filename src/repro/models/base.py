@@ -73,6 +73,7 @@ from repro.obs import (
     resolve_metrics,
     resolve_tracer,
 )
+from repro.obs.journal import edge_fields as _edge_fields
 from repro.sim.config import GPUConfig
 from repro.sim.device import Device
 from repro.sim.events import EventQueue
@@ -122,16 +123,19 @@ class ExecutionModel:
         raise NotImplementedError
 
     def run(
-        self, plan: RuntimePlan, tracer=None, metrics=None, provenance=None
+        self, plan: RuntimePlan, tracer=None, metrics=None, provenance=None,
+        journal=None,
     ) -> RunStats:
         """Simulate ``plan``; pass a tracer/metrics registry to observe.
 
         ``provenance`` may be a
         :class:`repro.obs.critpath.ProvenanceRecorder`; the engine then
         records per-TB start reasons and kernel launch triggers for
-        critical-path extraction.  Instrumentation is observation only —
-        results are identical whether or not a tracer or recorder is
-        attached.
+        critical-path extraction.  ``journal`` may be a
+        :class:`repro.obs.journal.JournalRecorder`; the engine then
+        emits every scheduling event into the flight recorder.
+        Instrumentation is observation only — results are identical
+        whether or not a tracer or recorder is attached.
         """
         tracer = resolve_tracer(tracer)
         metrics = resolve_metrics(metrics)
@@ -149,6 +153,7 @@ class ExecutionModel:
                 tracer=tracer,
                 metrics=metrics,
                 provenance=provenance,
+                journal=journal,
             )
             return engine.run()
 
@@ -187,7 +192,10 @@ class EngineDrainError(RuntimeError):
     or API calls never completed.  ``details`` is a structured dict:
     ``{"calls": [positions...], "kernels": [{"index", "name",
     "finished", "num_tbs", "unreleased", "stuck_tbs": [{"tb",
-    "pending_parents", "unmet_parents"} | {"tb", "reason"}]}]}``.
+    "pending_parents", "unmet_parents"} | {"tb", "reason"}]}]}``.  When
+    the run carried a :class:`~repro.obs.journal.JournalRecorder`,
+    ``details["journal_tail"]`` additionally holds the last ~20 journal
+    events — the flight recorder's black-box tail.
     """
 
     def __init__(self, message, details=None):
@@ -204,6 +212,7 @@ class ExecutionEngine:
         tracer=None,
         metrics=None,
         provenance=None,
+        journal=None,
         device=None,
     ):
         self.plan = plan
@@ -213,6 +222,8 @@ class ExecutionEngine:
         self.metrics = resolve_metrics(metrics)
         #: observation-only recorder of scheduling decisions (critpath)
         self.prov = provenance
+        #: observation-only flight recorder of every engine event
+        self.journal = journal
         #: the event context: what kind of event is currently executing
         #: (provenance annotation only — never consulted for scheduling)
         self._ctx = ("host",)
@@ -312,6 +323,8 @@ class ExecutionEngine:
     def run(self) -> RunStats:
         if self.prov is not None:
             self.prov.begin(self)
+        if self.journal is not None:
+            self.journal.begin(self)
         self._init_fine_grain()
         self.events.schedule(0.0, self._host_resume)
         makespan = self.events.run()
@@ -338,9 +351,20 @@ class ExecutionEngine:
         stats.validate_invariants()
         if self.prov is not None:
             self.prov.finalize(self)
+        if self.journal is not None:
+            self.journal.finalize(self)
         self._emit_trace(stats)
         self._record_metrics(stats)
         return stats
+
+    def _journal_emit(self, kind, **fields):
+        """Emit one flight-recorder event at the current engine time.
+
+        Observation only: the journal never feeds back into scheduling,
+        so simulated signatures are byte-identical with it on or off.
+        """
+        if self.journal is not None:
+            self.journal.emit(kind, self.events.now, **fields)
 
     # ------------------------------------------------------------------
     # observability (pure observation: derived from the finished run's
@@ -497,10 +521,18 @@ class ExecutionEngine:
             bits.append("... {} more kernels".format(len(kernel_rows) - 4))
         if pending_calls:
             bits.append("calls {} incomplete".format(pending_calls[:6]))
+        details = {"calls": pending_calls, "kernels": kernel_rows}
+        if self.journal is not None:
+            # the flight recorder's black-box tail: the last events the
+            # engine processed before stalling, so the report is
+            # self-contained without re-running under a debugger
+            tail = self.journal.tail(20)
+            details["journal_tail"] = tail
+            bits.append("journal tail attached ({} events)".format(len(tail)))
         return EngineDrainError(
             "event queue drained with work still outstanding: "
             + "; ".join(bits),
-            details={"calls": pending_calls, "kernels": kernel_rows},
+            details=details,
         )
 
     def _kernel_records(self):
@@ -546,6 +578,14 @@ class ExecutionEngine:
             enqueue_at = issue_at + self.opts.api_call_ns
             self._host_cursor += 1
             self._host_time = enqueue_at
+            self._journal_emit(
+                "host_issue",
+                position=position,
+                op=getattr(call, "trace_name", type(call).__name__),
+                stream=call.stream_id,
+                issue_ns=issue_at,
+                blocking=self._host_blocks_on(call),
+            )
             self.events.schedule(enqueue_at, lambda p=position: self._enqueue(p))
             if self._host_blocks_on(call):
                 self.counters["host_blocks"] += 1
@@ -576,6 +616,12 @@ class ExecutionEngine:
         self.call_enqueued[position] = True
         self.call_enqueued_ns[position] = self.events.now
         call = self.plan.order[position]
+        self._journal_emit(
+            "call_enqueue",
+            position=position,
+            op=getattr(call, "trace_name", type(call).__name__),
+            stream=call.stream_id,
+        )
         if isinstance(call, KernelLaunchCall):
             ki = self.plan.kernel_at_position[position]
             self.kernels[ki].enqueued_ns = self.events.now
@@ -605,6 +651,12 @@ class ExecutionEngine:
         now = self.events.now
         if self.prov is not None:
             self.prov.note_call_start(position, now)
+        self._journal_emit(
+            "call_start",
+            position=position,
+            op=getattr(call, "trace_name", type(call).__name__),
+            stream=call.stream_id,
+        )
         if isinstance(call, MallocCall):
             duration = self.timing.malloc_ns
         elif isinstance(call, (MemcpyH2D, MemcpyD2H)):
@@ -624,6 +676,13 @@ class ExecutionEngine:
             return
         self.call_done[position] = True
         self.call_done_ns[position] = self.events.now
+        call = self.plan.order[position]
+        self._journal_emit(
+            "call_complete",
+            position=position,
+            op=getattr(call, "trace_name", type(call).__name__),
+            stream=call.stream_id,
+        )
         self._advance_done_prefix(self.plan.order[position].stream_id)
         for callback in self._call_waiters.pop(position, ()):  # host resume
             callback(position)
@@ -669,6 +728,13 @@ class ExecutionEngine:
                     self.prov.note_launch_trigger(
                         ki, self.events.now, self._ctx
                     )
+                self._journal_emit(
+                    "kernel_launch",
+                    kernel=ki,
+                    name=ks.plan.name,
+                    stream=stream,
+                    edge=_edge_fields(self._ctx),
+                )
                 self.call_started[position] = True
                 self._stream_launch_cursor[stream] = cursor + 1
                 self.events.schedule(
@@ -719,6 +785,7 @@ class ExecutionEngine:
         ks = self.kernels[ki]
         ks.resident = True
         ks.resident_ns = self.events.now
+        self._journal_emit("kernel_resident", kernel=ki, name=ks.plan.name)
         self._refresh_ready(ki)
         self._pump()
 
@@ -797,6 +864,12 @@ class ExecutionEngine:
             self.prov.note_ready(
                 ks.plan.kernel_index, tb, self.events.now, self._ctx
             )
+        self._journal_emit(
+            "tb_ready",
+            kernel=ks.plan.kernel_index,
+            tb=tb,
+            edge=_edge_fields(self._ctx),
+        )
 
     def _drain_deferred(self, ks):
         capacity = self.opts.ready_capacity
@@ -810,6 +883,12 @@ class ExecutionEngine:
                 self.prov.note_ready(
                     ks.plan.kernel_index, tb, self.events.now, self._ctx
                 )
+            self._journal_emit(
+                "tb_ready",
+                kernel=ks.plan.kernel_index,
+                tb=tb,
+                edge=_edge_fields(self._ctx),
+            )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -854,6 +933,13 @@ class ExecutionEngine:
                     self.prov.note_start(
                         ks.plan.kernel_index, tb, now, self._ctx
                     )
+                self._journal_emit(
+                    "tb_dispatch",
+                    kernel=ks.plan.kernel_index,
+                    tb=tb,
+                    sm=sm,
+                    edge=_edge_fields(self._ctx),
+                )
                 self._drain_deferred(ks)
                 ks.dispatched += 1
                 if ks.first_tb_start_ns is None:
@@ -907,6 +993,7 @@ class ExecutionEngine:
         now = self.events.now
         ki = ks.plan.kernel_index
         self._ctx = ("tb_finish", ki, tb)
+        self._journal_emit("tb_finish", kernel=ki, tb=tb, sm=sm)
         self.device.release(sm, threads, now)
         ks.finished += 1
         ks.tb_finish_ns[tb] = now
@@ -924,6 +1011,7 @@ class ExecutionEngine:
         if ks.finished == ks.plan.num_tbs:
             ks.all_tbs_done = True
             ks.all_tbs_done_ns = now
+            self._journal_emit("kernel_drain", kernel=ki, name=ks.plan.name)
             self._on_all_tbs_done(ki)
             self._ctx = ("tb_finish", ki, tb)  # leaving the cascade
         if child_ki is not None:
@@ -943,6 +1031,9 @@ class ExecutionEngine:
             ks.completed = True
             ks.completed_ns = self.events.now
             self._ctx = ("completion", idx)
+            self._journal_emit(
+                "kernel_complete", kernel=idx, name=ks.plan.name
+            )
             self._complete_call(ks.plan.order_position)
             # downstream kernels gated on this completion may unblock:
             # same-stream descendants (grandparent barriers, coarse

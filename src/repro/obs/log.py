@@ -1,0 +1,284 @@
+"""Structured logging + live progress heartbeats for long runs.
+
+Every subsystem that used to ``print(..., file=sys.stderr)`` now goes
+through a :class:`Logger` from :func:`get_logger`.  In the default
+configuration the output is byte-identical to the old ad-hoc prints
+(the bare message on stderr at info level), so nothing downstream —
+tests, shell pipelines, CI greps — notices the switch.  Two knobs
+change that:
+
+* ``REPRO_LOG`` — ``level`` or ``level:subsys1,subsys2`` (for example
+  ``debug`` or ``debug:bench,parallel``).  Levels: ``debug`` < ``info``
+  (default) < ``warning`` < ``error`` < ``off``.  A subsystem list
+  restricts *debug-level* verbosity to those subsystems; info and above
+  always pass the level filter alone.
+* ``REPRO_LOG_JSON=1`` (or the CLI's ``--log-json``) — each record
+  becomes one JSON object per line (``ts``/``level``/``subsystem``/
+  ``msg`` + context fields), machine-parseable for CI and the future
+  ``repro serve``.
+
+:func:`set_context` attaches ambient key/value pairs (for example
+``worker=<pid>`` inside pool workers) to every subsequent record from
+this process — that is the per-worker forwarding story: workers inherit
+the parent's stderr, and the context field says who wrote each line.
+
+:class:`Heartbeat` is the live-progress half: long ``bench run`` /
+``experiments run-all`` invocations tick it once per completed cell.
+On a TTY it redraws a single status line (current cell, ETA, cache hit
+rate); on a non-TTY it stays silent so logs remain clean.  Either way
+every tick atomically rewrites a machine-readable JSON status file
+(``REPRO_STATUS_FILE`` or ``--status-file``) that an external watcher —
+eventually ``repro serve`` — can poll.
+"""
+
+import json
+import os
+import sys
+import time
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40, "off": 100}
+
+LOG_ENV = "REPRO_LOG"
+LOG_JSON_ENV = "REPRO_LOG_JSON"
+STATUS_FILE_ENV = "REPRO_STATUS_FILE"
+
+#: module state; one process-wide configuration (workers fork it)
+_state = {
+    "level": None,          # numeric threshold, resolved lazily
+    "subsystems": None,     # frozenset or None = all
+    "json": None,           # bool, resolved lazily
+    "stream": None,         # defaults to sys.stderr at emit time
+    "context": {},
+}
+
+
+def parse_spec(spec):
+    """``"debug:bench,parallel"`` -> (numeric level, subsystem set)."""
+    spec = (spec or "").strip()
+    if not spec:
+        return LEVELS["info"], None
+    name, _, subsys = spec.partition(":")
+    level = LEVELS.get(name.strip().lower())
+    if level is None:
+        level = LEVELS["info"]
+    names = frozenset(
+        part.strip() for part in subsys.split(",") if part.strip()
+    )
+    return level, (names or None)
+
+
+def configure(spec=None, json_lines=None, stream=None):
+    """Pin the process-wide config (CLI flags beat environment)."""
+    if spec is not None:
+        level, subsystems = parse_spec(spec)
+        _state["level"], _state["subsystems"] = level, subsystems
+    if json_lines is not None:
+        _state["json"] = bool(json_lines)
+    if stream is not None:
+        _state["stream"] = stream
+
+
+def reset():
+    """Drop all configuration and context (tests call this)."""
+    _state.update(
+        level=None, subsystems=None, json=None, stream=None, context={}
+    )
+
+
+def set_context(**fields):
+    """Attach ambient fields to every subsequent record (None deletes)."""
+    for key, value in fields.items():
+        if value is None:
+            _state["context"].pop(key, None)
+        else:
+            _state["context"][key] = value
+
+
+def _resolved_level():
+    if _state["level"] is None:
+        level, subsystems = parse_spec(os.environ.get(LOG_ENV))
+        _state["level"], _state["subsystems"] = level, subsystems
+    return _state["level"]
+
+
+def _resolved_json():
+    if _state["json"] is None:
+        _state["json"] = os.environ.get(LOG_JSON_ENV, "") not in ("", "0")
+    return _state["json"]
+
+
+def _stream():
+    return _state["stream"] if _state["stream"] is not None else sys.stderr
+
+
+class Logger:
+    """Leveled, per-subsystem record emitter (see module docstring)."""
+
+    def __init__(self, subsystem):
+        self.subsystem = subsystem
+
+    def enabled(self, level_name):
+        threshold = _resolved_level()
+        level = LEVELS[level_name]
+        if level < threshold:
+            return False
+        subsystems = _state["subsystems"]
+        if (
+            level_name == "debug"
+            and subsystems is not None
+            and self.subsystem not in subsystems
+        ):
+            return False
+        return True
+
+    def log(self, level_name, msg, **fields):
+        if not self.enabled(level_name):
+            return
+        stream = _stream()
+        if _resolved_json():
+            record = {
+                "ts": round(time.time(), 3),
+                "level": level_name,
+                "subsystem": self.subsystem,
+                "msg": msg,
+            }
+            record.update(_state["context"])
+            record.update(fields)
+            stream.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+        else:
+            # bare message: byte-identical to the historical stderr print
+            stream.write(msg + "\n")
+        stream.flush()
+
+    def debug(self, msg, **fields):
+        self.log("debug", msg, **fields)
+
+    def info(self, msg, **fields):
+        self.log("info", msg, **fields)
+
+    def warning(self, msg, **fields):
+        self.log("warning", msg, **fields)
+
+    def error(self, msg, **fields):
+        self.log("error", msg, **fields)
+
+
+def get_logger(subsystem):
+    return Logger(subsystem)
+
+
+# ----------------------------------------------------------------------
+# heartbeat / status file
+# ----------------------------------------------------------------------
+STATUS_KIND = "repro-status"
+STATUS_SCHEMA_VERSION = 1
+
+
+class Heartbeat:
+    """Live progress for a multi-cell run: TTY line + JSON status file.
+
+    ``total`` is the number of cells; :meth:`tick` is called once per
+    completed cell with a human label for the *next* work (or the one
+    just finished) plus optional counters.  ETA is linear extrapolation
+    from elapsed/completed — crude but monotone, and honest about being
+    absent until the first cell lands.
+    """
+
+    def __init__(self, total, phase="bench", status_path=None, stream=None,
+                 clock=time.monotonic):
+        self.total = int(total)
+        self.phase = phase
+        self.status_path = (
+            status_path
+            if status_path is not None
+            else (os.environ.get(STATUS_FILE_ENV) or None)
+        )
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._start = clock()
+        self.completed = 0
+        self.current = None
+        self.extra = {}
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._live = False  # a live line is currently on screen
+
+    # -- progress ------------------------------------------------------
+    def tick(self, current=None, completed=None, **extra):
+        if completed is not None:
+            self.completed = int(completed)
+        if current is not None:
+            self.current = current
+        self.extra.update(extra)
+        self._write_status()
+        self._draw()
+
+    def advance(self, current=None, **extra):
+        self.tick(current=current, completed=self.completed + 1, **extra)
+
+    def finish(self):
+        """Clear the live line and write the terminal status snapshot."""
+        self.completed = self.total
+        self.current = None
+        self._write_status(done=True)
+        if self._live:
+            self._stream.write("\r\x1b[K")
+            self._stream.flush()
+            self._live = False
+
+    # -- internals -----------------------------------------------------
+    def elapsed_s(self):
+        return self._clock() - self._start
+
+    def eta_s(self):
+        if self.completed <= 0 or self.completed >= self.total:
+            return None
+        per_cell = self.elapsed_s() / self.completed
+        return per_cell * (self.total - self.completed)
+
+    def snapshot(self, done=False):
+        payload = {
+            "kind": STATUS_KIND,
+            "schema_version": STATUS_SCHEMA_VERSION,
+            "phase": self.phase,
+            "completed": self.completed,
+            "total": self.total,
+            "current": self.current,
+            "elapsed_s": round(self.elapsed_s(), 3),
+            "eta_s": (
+                round(self.eta_s(), 3) if self.eta_s() is not None else None
+            ),
+            "done": bool(done or self.completed >= self.total),
+            "pid": os.getpid(),
+        }
+        payload.update(self.extra)
+        return payload
+
+    def _write_status(self, done=False):
+        if not self.status_path:
+            return
+        payload = self.snapshot(done=done)
+        tmp = "{}.tmp.{}".format(self.status_path, os.getpid())
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        # atomic replace: a poller never sees a half-written file
+        os.replace(tmp, self.status_path)
+
+    def _draw(self):
+        if not self._tty:
+            return
+        bits = ["{}: {}/{}".format(self.phase, self.completed, self.total)]
+        if self.current:
+            bits.append(str(self.current))
+        eta = self.eta_s()
+        if eta is not None:
+            bits.append("eta {:.0f}s".format(eta))
+        hit_rate = self.extra.get("cache_hit_rate")
+        if hit_rate is not None:
+            bits.append("cache {:.0%}".format(hit_rate))
+        self._stream.write("\r\x1b[K" + "  ".join(bits))
+        self._stream.flush()
+        self._live = True

@@ -34,6 +34,25 @@ def dump_json(payload, destination, indent=2, sort_keys=True):
     return destination
 
 
+def write_text(text, destination=None):
+    """The one *text*-report writer behind the ``--out FILE`` flags.
+
+    ``None`` or ``-`` prints to stdout (the historical behavior of
+    ``trace``/``blame``/``critpath``); a path writes the report there
+    and confirms with the same ``wrote <path>`` line the JSON flags
+    use.  Returns ``destination``.
+    """
+    if not text.endswith("\n"):
+        text += "\n"
+    if destination in (None, "-"):
+        sys.stdout.write(text)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text)
+        print("wrote", destination)
+    return destination
+
+
 # ----------------------------------------------------------------------
 # RunStats serialization
 # ----------------------------------------------------------------------

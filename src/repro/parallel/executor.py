@@ -24,8 +24,16 @@ Workers run ``fn(item)`` — both must be picklable (module-level
 function, plain-data items).  Simulated results in this codebase are
 deterministic, so a retried task returns the same value the first
 attempt would have.
+
+Observability: an ``on_result`` callback fires in the parent once per
+finalized task (heartbeats hook it), and every pooled task runs inside
+:func:`_worker_task`, which tags the worker's :mod:`repro.obs.log`
+context with its pid — workers inherit the parent's stderr, so the
+``worker`` field on a JSON log record is the forwarding story: it says
+*who* wrote each interleaved line.
 """
 
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -60,6 +68,14 @@ class TaskResult:
     inline: bool = False  # ran in the parent (serial mode or rescue)
 
 
+def _worker_task(fn, item):
+    """Pool entry point: tag this worker's log context, then run."""
+    from repro.obs.log import set_context
+
+    set_context(worker=os.getpid())
+    return fn(item)
+
+
 class SuiteExecutor:
     """Run independent tasks on a process pool, merge results in order.
 
@@ -76,13 +92,24 @@ class SuiteExecutor:
     log:
         Optional ``callable(str)`` for progress/rescue messages
         (defaults to silent).
+    on_result:
+        Optional ``callable(TaskResult)`` fired in the parent once per
+        task, when its result is final (pool collection, inline run, or
+        rescue — never twice for the same index).  Heartbeats hook this
+        for live progress; exceptions it raises propagate to the caller.
     """
 
-    def __init__(self, jobs=1, timeout_s=DEFAULT_TASK_TIMEOUT_S, retries=1, log=None):
+    def __init__(self, jobs=1, timeout_s=DEFAULT_TASK_TIMEOUT_S, retries=1,
+                 log=None, on_result=None):
         self.jobs = max(1, int(jobs))
         self.timeout_s = timeout_s
         self.retries = max(0, int(retries))
         self.log = log or (lambda message: None)
+        self.on_result = on_result
+
+    def _notify(self, result):
+        if self.on_result is not None:
+            self.on_result(result)
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable, items: Sequence) -> List[object]:
@@ -112,13 +139,15 @@ class SuiteExecutor:
                 self.log("parallel: task {} attempt {} failed ({!r}); retrying".format(
                     index, attempt, exc))
                 continue
-            return TaskResult(
+            result = TaskResult(
                 index=index,
                 value=value,
                 attempts=attempt,
                 elapsed_s=time.perf_counter() - start,
                 inline=True,
             )
+            self._notify(result)
+            return result
 
     def _run_pool(self, fn, items):
         import multiprocessing
@@ -138,7 +167,7 @@ class SuiteExecutor:
         )
         try:
             submitted = time.perf_counter()
-            futures = [pool.submit(fn, item) for item in items]
+            futures = [pool.submit(_worker_task, fn, item) for item in items]
             # collect strictly in index order: merge order (and therefore
             # the caller-visible output) never depends on completion order
             for index, future in enumerate(futures):
@@ -169,6 +198,7 @@ class SuiteExecutor:
                         attempts=1,
                         elapsed_s=time.perf_counter() - submitted,
                     )
+                    self._notify(results[index])
         finally:
             pool.shutdown(wait=not timed_out, cancel_futures=True)
             if timed_out:

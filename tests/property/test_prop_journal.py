@@ -1,0 +1,157 @@
+"""Property tests: journal determinism and jdiff localization.
+
+The flight recorder's value rests on two promises:
+
+* **Determinism** — the same (workload, model, config) produces the
+  same content-addressed digest in every process: across
+  ``PYTHONHASHSEED`` values (hash randomization must not leak into
+  event ordering or serialization) and across ``--jobs`` worker
+  processes (a journal recorded inside a pool worker is byte-identical
+  to one recorded inline).
+* **Localization** — ``jdiff`` of a journal against itself is always
+  empty, and a *single* perturbed event is always reported as the first
+  divergence at exactly that index, never smeared earlier or later.
+"""
+
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.jdiff import diff_journals
+from repro.obs.journal import (
+    EVENT_KINDS,
+    journal_digest,
+    record_run,
+)
+from repro.parallel import SuiteExecutor
+
+# ----------------------------------------------------------------------
+# synthetic journals for the jdiff properties: structurally valid shape
+# (contiguous seq, non-decreasing t_ns) without the cost of simulating
+# ----------------------------------------------------------------------
+event_body_st = st.tuples(
+    st.sampled_from(EVENT_KINDS),
+    st.integers(0, 3),    # kernel
+    st.integers(0, 7),    # tb
+    st.floats(0.0, 10.0, allow_nan=False),  # dt to the previous event
+)
+
+
+def _events_from_draw(draw):
+    events = []
+    t_ns = 0.0
+    for index, (kind, kernel, tb, dt) in enumerate(draw):
+        t_ns += dt
+        events.append({
+            "seq": index, "t_ns": t_ns, "kind": kind,
+            "kernel": kernel, "tb": tb,
+        })
+    return events
+
+
+events_st = st.lists(event_body_st, min_size=2, max_size=40).map(
+    _events_from_draw
+)
+
+
+def _header(events, workload="synthetic", model="consumer3"):
+    return {
+        "kind": "repro-journal",
+        "schema_version": 1,
+        "workload": workload,
+        "model": model,
+        "options": {"window": 3},
+        "num_events": len(events),
+        "digest": journal_digest(events),
+    }
+
+
+class TestJdiffProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(events_st)
+    def test_self_diff_is_always_empty(self, events):
+        header = _header(events)
+        report = diff_journals(header, events, header, events)
+        assert report["identical"] is True
+        assert report["first_divergence"] is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(events_st, st.data())
+    def test_single_perturbation_localized_exactly(self, events, data):
+        index = data.draw(st.integers(0, len(events) - 1))
+        perturbed = [dict(event) for event in events]
+        perturbed[index]["t_ns"] += 1.0
+        report = diff_journals(
+            _header(events), events, _header(perturbed), perturbed,
+        )
+        assert report["identical"] is False
+        assert report["first_divergence"]["index"] == index
+        assert report["num_common_prefix"] == index
+        assert report["first_divergence"]["changed_fields"] == ["t_ns"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(events_st, st.data())
+    def test_digest_changes_with_any_event(self, events, data):
+        index = data.draw(st.integers(0, len(events) - 1))
+        perturbed = [dict(event) for event in events]
+        perturbed[index]["t_ns"] += 1.0
+        assert journal_digest(perturbed) != journal_digest(events)
+
+
+# ----------------------------------------------------------------------
+# cross-process determinism of real recordings
+# ----------------------------------------------------------------------
+_SUBPROCESS_SNIPPET = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.obs.journal import record_run
+recorder, _stats = record_run({workload!r}, model={model!r})
+print(recorder.digest())
+"""
+
+
+def _digest_task(spec):
+    """``--jobs`` worker body: record in this process, return the digest."""
+    workload, model = spec
+    recorder, _stats = record_run(workload, model=model)
+    return recorder.digest()
+
+
+class TestCrossProcessDeterminism:
+    def test_digest_identical_under_different_hash_seeds(self):
+        """The digest must not inherit hash randomization.
+
+        A digest that varied with ``PYTHONHASHSEED`` would make every
+        cross-machine jdiff report drift that does not exist.  Record
+        the same cell in two interpreters with different seeds and
+        in-process, and require all three digests to agree.
+        """
+        here = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        snippet = _SUBPROCESS_SNIPPET.format(
+            src=os.path.join(here, "src"), workload="mvt", model="consumer3"
+        )
+        digests = set()
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c", snippet],
+                env=env,
+                cwd=here,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            digests.add(out.stdout.strip())
+        recorder, _stats = record_run("mvt")
+        digests.add(recorder.digest())
+        assert len(digests) == 1, digests
+
+    def test_digest_identical_inline_vs_pool_workers(self):
+        """A journal recorded in a ``--jobs`` worker matches inline."""
+        specs = [("mvt", "consumer3"), ("mvt", "baseline")]
+        inline = [_digest_task(spec) for spec in specs]
+        pooled = SuiteExecutor(jobs=2).map(_digest_task, specs)
+        assert pooled == inline

@@ -1,0 +1,248 @@
+"""Unit tests for the execution journal (repro.obs.journal)."""
+
+import copy
+
+import pytest
+
+from repro.core.runtime import BlockMaestroRuntime
+from repro.models import BlockMaestroModel, EngineDrainError
+from repro.models.base import ExecutionEngine
+from repro.obs.journal import (
+    EDGE_KINDS,
+    EVENT_KINDS,
+    JOURNAL_KIND,
+    JournalRecorder,
+    edge_fields,
+    journal_digest,
+    load_journal,
+    record_run,
+    validate_journal,
+    write_journal,
+)
+
+from tests.conftest import make_chain_app
+
+
+def _journaled_run(app, model, reorder=True, window=2):
+    """Plan + run one model with a journal attached."""
+    runtime = BlockMaestroRuntime(model.gpu_config)
+    plan = runtime.plan(app, reorder=reorder, window=window)
+    recorder = JournalRecorder()
+    stats = model.run(plan, journal=recorder)
+    return plan, stats, recorder
+
+
+class TestRecorder:
+    @pytest.fixture(scope="class")
+    def run(self):
+        app = make_chain_app(num_pairs=2, tbs=8, block=64, name="jr-chain")
+        return _journaled_run(app, BlockMaestroModel(window=2))
+
+    def test_validates_clean(self, run):
+        _plan, _stats, recorder = run
+        assert validate_journal(recorder.header(), recorder.events) == []
+
+    def test_covers_the_lifecycle(self, run):
+        _plan, stats, recorder = run
+        kinds = {event["kind"] for event in recorder.events}
+        assert kinds == set(EVENT_KINDS)
+        # one dispatch + one finish per simulated thread block
+        dispatches = [e for e in recorder.events if e["kind"] == "tb_dispatch"]
+        finishes = [e for e in recorder.events if e["kind"] == "tb_finish"]
+        assert len(dispatches) == len(stats.tb_records)
+        assert len(finishes) == len(stats.tb_records)
+        launches = [e for e in recorder.events if e["kind"] == "kernel_launch"]
+        assert len(launches) == len(stats.kernel_records)
+
+    def test_events_carry_release_edges(self, run):
+        _plan, _stats, recorder = run
+        for event in recorder.events:
+            if event["kind"] in EDGE_KINDS:
+                assert event["edge"]["kind"] in (
+                    "host", "enqueue", "call", "launch", "completion",
+                    "tb_finish",
+                )
+
+    def test_header_describes_the_run(self, run):
+        _plan, stats, recorder = run
+        header = recorder.header()
+        assert header["kind"] == JOURNAL_KIND
+        assert header["workload"] == stats.application
+        assert header["model"] == stats.model
+        assert header["num_events"] == len(recorder.events)
+        assert header["digest"].startswith("sha256:")
+        assert header["options"]["window"] == 2
+
+    def test_tail_is_the_last_events(self, run):
+        _plan, _stats, recorder = run
+        tail = recorder.tail(5)
+        assert len(tail) == 5
+        assert [e["seq"] for e in tail] == [
+            e["seq"] for e in recorder.events[-5:]
+        ]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_digests(self):
+        model = BlockMaestroModel(window=2)
+        runs = []
+        for _ in range(2):
+            app = make_chain_app(num_pairs=2, tbs=8, block=64, name="jr-det")
+            runs.append(_journaled_run(app, model)[2])
+        assert runs[0].digest() == runs[1].digest()
+        assert runs[0].events == runs[1].events
+
+    def test_record_run_is_deterministic(self):
+        a, _ = record_run("mvt")
+        b, _ = record_run("mvt")
+        assert a.digest() == b.digest()
+
+    def test_different_models_different_digests(self):
+        a, _ = record_run("mvt", model="baseline")
+        b, _ = record_run("mvt", model="consumer3")
+        assert a.digest() != b.digest()
+
+
+class TestSignatureIdentity:
+    """Journaling must be pure observation: results identical on/off."""
+
+    @pytest.mark.parametrize("workload", ("mvt", "lud"))
+    def test_signature_identical_with_journal(self, workload):
+        from repro.workloads import get_workload
+
+        spec = get_workload(workload)
+
+        def simulate(journal):
+            app = spec.build_small()
+            runtime = BlockMaestroRuntime()
+            plan = runtime.plan(app, reorder=True, window=3)
+            return BlockMaestroModel(window=3).run(plan, journal=journal)
+
+        plain = simulate(None)
+        recorded = simulate(JournalRecorder())
+        assert recorded.simulated_signature() == plain.simulated_signature()
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        recorder, _stats = record_run("mvt")
+        path = str(tmp_path / "mvt.journal.jsonl")
+        write_journal(recorder, path)
+        header, events = load_journal(path)
+        assert header == recorder.header()
+        assert events == recorder.events
+        assert validate_journal(header, events) == []
+
+    def test_load_rejects_non_journal(self, tmp_path):
+        path = tmp_path / "nope.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a repro-journal"):
+            load_journal(str(path))
+
+    def test_load_rejects_tampering(self, tmp_path):
+        recorder, _stats = record_run("mvt")
+        path = tmp_path / "mvt.journal.jsonl"
+        write_journal(recorder, str(path))
+        lines = path.read_text().splitlines()
+        lines[10] = lines[10].replace('"t_ns"', '"t_nsx"')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="digest mismatch"):
+            load_journal(str(path))
+
+    def test_load_rejects_truncation(self, tmp_path):
+        recorder, _stats = record_run("mvt")
+        path = tmp_path / "mvt.journal.jsonl"
+        write_journal(recorder, str(path))
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-3]) + "\n")
+        with pytest.raises(ValueError, match="events"):
+            load_journal(str(path))
+
+
+class TestValidator:
+    @pytest.fixture(scope="class")
+    def journal(self):
+        recorder, _stats = record_run("mvt")
+        return recorder.header(), recorder.events
+
+    def test_rejects_seq_gap(self, journal):
+        header, events = journal
+        bad = copy.deepcopy(events)
+        bad[5]["seq"] = 99
+        assert any("contiguity" in e for e in validate_journal(header, bad))
+
+    def test_rejects_time_regression(self, journal):
+        header, events = journal
+        bad = copy.deepcopy(events)
+        bad[-1]["t_ns"] = -1.0
+        assert any("backwards" in e for e in validate_journal(header, bad))
+
+    def test_rejects_unknown_kind(self, journal):
+        header, events = journal
+        bad = copy.deepcopy(events)
+        bad[3]["kind"] = "tb_explode"
+        assert any("unknown kind" in e for e in validate_journal(header, bad))
+
+    def test_rejects_missing_edge(self, journal):
+        header, events = journal
+        bad = copy.deepcopy(events)
+        target = next(e for e in bad if e["kind"] in EDGE_KINDS)
+        del target["edge"]
+        assert any("edge" in e for e in validate_journal(header, bad))
+
+    def test_rejects_digest_mismatch(self, journal):
+        header, events = journal
+        assert journal_digest(events) == header["digest"]
+        bad_header = dict(header, digest="sha256:" + "0" * 64)
+        assert any(
+            "digest" in e for e in validate_journal(bad_header, events)
+        )
+
+
+class TestEdgeFields:
+    def test_every_context_shape(self):
+        assert edge_fields(("host",)) == {"kind": "host"}
+        assert edge_fields(("call", 3)) == {"kind": "call", "position": 3}
+        assert edge_fields(("enqueue", 1)) == {
+            "kind": "enqueue", "position": 1,
+        }
+        assert edge_fields(("launch", 2)) == {"kind": "launch", "kernel": 2}
+        assert edge_fields(("completion", 0)) == {
+            "kind": "completion", "kernel": 0,
+        }
+        assert edge_fields(("tb_finish", 1, 7)) == {
+            "kind": "tb_finish", "kernel": 1, "tb": 7,
+        }
+        assert edge_fields(None) == {"kind": "host"}
+
+
+class TestDrainBlackBox:
+    def _stuck(self, journal):
+        app = make_chain_app(num_pairs=2, tbs=4, block=32, name="jr-stuck")
+        model = BlockMaestroModel(window=2)
+        runtime = BlockMaestroRuntime(model.gpu_config)
+        plan = runtime.plan(app, reorder=True, window=2)
+
+        class StuckEngine(ExecutionEngine):
+            def _tb_eligible(self, ki):
+                return False  # nothing ever dispatches
+
+        engine = StuckEngine(
+            plan, model.gpu_config, model.options(), journal=journal
+        )
+        with pytest.raises(EngineDrainError) as excinfo:
+            engine.run()
+        return excinfo.value
+
+    def test_journal_tail_attached_when_recording(self):
+        err = self._stuck(JournalRecorder())
+        tail = err.details["journal_tail"]
+        assert 0 < len(tail) <= 20
+        # the tail is the end of the recording, in order
+        assert [e["seq"] for e in tail] == sorted(e["seq"] for e in tail)
+        assert "journal tail attached" in str(err)
+
+    def test_no_tail_without_journal(self):
+        err = self._stuck(None)
+        assert "journal_tail" not in err.details
+        assert "journal tail" not in str(err)
