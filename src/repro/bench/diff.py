@@ -158,6 +158,35 @@ def diff_reports(old, new, tolerance=0.25, min_seconds=0.010):
                               "critpath.attribution_ns.{}".format(comp),
                               a, b, "simulated")
                     )
+
+        # telemetry summary: derived purely from simulated time, so any
+        # change (overlap fractions included) is zero-tolerance drift.
+        # Only compared when both reports carry it (--telemetry is
+        # opt-in), so mixed-era report pairs diff clean.
+        old_tm = before.get("telemetry")
+        new_tm = after.get("telemetry")
+        if isinstance(old_tm, dict) and isinstance(new_tm, dict):
+            scalar_keys = (old_tm.keys() | new_tm.keys()) - {"pair_overlap"}
+            for metric in sorted(scalar_keys):
+                a = old_tm.get(metric)
+                b = new_tm.get(metric)
+                if a != b:
+                    result.drift.append(
+                        Delta(wname, mname,
+                              "telemetry.{}".format(metric),
+                              a, b, "simulated")
+                    )
+            old_pairs = old_tm.get("pair_overlap", {}) or {}
+            new_pairs = new_tm.get("pair_overlap", {}) or {}
+            for pair in sorted(old_pairs.keys() | new_pairs.keys()):
+                a = old_pairs.get(pair, 0.0)
+                b = new_pairs.get(pair, 0.0)
+                if a != b:
+                    result.drift.append(
+                        Delta(wname, mname,
+                              "telemetry.pair_overlap.{}".format(pair),
+                              a, b, "simulated")
+                    )
     return result
 
 

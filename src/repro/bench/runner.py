@@ -92,6 +92,9 @@ class BenchConfig:
     #: embed a per-model critical-path attribution section (one extra
     #: provenance pass per cell; see docs/observability.md)
     critpath: bool = False
+    #: embed a per-model telemetry summary section (occupancy, overlap,
+    #: idle bubbles; one extra sampler pass per cell)
+    telemetry: bool = False
 
     def as_dict(self):
         return {
@@ -105,6 +108,7 @@ class BenchConfig:
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
             "critpath": self.critpath,
+            "telemetry": self.telemetry,
         }
 
 
@@ -119,6 +123,7 @@ def resolve_config(
     jobs=1,
     cache_dir=None,
     critpath=False,
+    telemetry=False,
 ):
     """Fold CLI-ish arguments into a concrete :class:`BenchConfig`.
 
@@ -166,6 +171,7 @@ def resolve_config(
         jobs=max(1, int(jobs)),
         cache_dir=cache_dir,
         critpath=critpath,
+        telemetry=telemetry,
     )
 
 
@@ -238,6 +244,26 @@ def _critpath_entry(spec, model_name, cache=None):
     }
 
 
+def _telemetry_entry(spec, model_name, cache=None):
+    """One sampler pass -> the per-model ``telemetry`` bench section.
+
+    Like :func:`_critpath_entry`, a separate untimed pass: the sampler
+    is observation-only (the simulation is deterministic either way),
+    but keeping it out of the measured repeats keeps wall samples
+    comparable with and without ``--telemetry``.
+    """
+    from repro.obs.telemetry import TelemetrySampler, bench_summary, build_report
+
+    sampler = TelemetrySampler()
+    spec_app = spec.build()
+    reorder, window = _model_plan_params(model_name)
+    runtime = BlockMaestroRuntime(cache=cache)
+    plan = runtime.plan(spec_app, reorder=reorder, window=window)
+    model = _make_model(model_name, runtime.config)
+    stats = model.run(plan, telemetry=sampler)
+    return bench_summary(build_report(stats, sampler))
+
+
 def _percentile_block(samples):
     values = sorted(samples)
     return {
@@ -290,7 +316,7 @@ def _run_cell(cell):
     Returns ``(entry, metrics_snapshot)``.
     """
     (wname, mname, repeats, warmup, profile, profile_top, cache_dir,
-     critpath) = cell
+     critpath, telemetry) = cell
     spec = get_workload(wname)
     cache = AnalysisCache(cache_dir) if cache_dir else None
     cell_metrics = MetricsRegistry()
@@ -336,6 +362,8 @@ def _run_cell(cell):
         entry["profile"] = _profile_pass(spec, mname, profile_top, cache=cache)
     if critpath:
         entry["critpath"] = _critpath_entry(spec, mname, cache=cache)
+    if telemetry:
+        entry["telemetry"] = _telemetry_entry(spec, mname, cache=cache)
     return entry, cell_metrics.snapshot()
 
 
@@ -362,7 +390,7 @@ def run_suite(config, log=None, executor=None, status_file=None):
     cells = [
         (wname, mname, config.repeats, config.warmup,
          config.profile, config.profile_top, config.cache_dir,
-         config.critpath)
+         config.critpath, config.telemetry)
         for wname in config.workloads
         for mname in config.models
     ]

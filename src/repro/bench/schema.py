@@ -6,7 +6,7 @@ chosen directory).  Shape::
 
     {
       "kind": "repro-bench-report",
-      "schema_version": 1,
+      "schema_version": 2,
       "created_utc": "2026-08-05T10:15:30Z",
       "host": {...},                # platform / python / cpu metadata
       "git": {...},                 # commit, branch, dirty flag
@@ -30,6 +30,11 @@ chosen directory).  Shape::
                 "attribution_ns": {...}, "attribution_fraction": {...},
                 "num_segments": ...
               },
+              "telemetry": {                            # optional: --telemetry
+                "mean_occupancy_tbs": ..., "wavefront_efficiency": ...,
+                "total_overlap_ns": ..., "idle_bubble_ns": ...,
+                "pair_overlap": {"k0->k1": ...}         # zero-tolerance
+              },
               "profile": [{"func", "ncalls", "tottime_s", "cumtime_s"}]
             }
           }
@@ -48,7 +53,10 @@ import os
 import subprocess
 import time
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: versions :func:`validate_report` accepts — v1 reports (no optional
+#: "telemetry" sections) stay loadable so history remains diffable
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 REPORT_KIND = "repro-bench-report"
 FILE_PREFIX = "BENCH_"
 
@@ -68,6 +76,20 @@ CRITPATH_COMPONENT_KEYS = (
     "copy",
     "host",
     "other",
+)
+
+#: numeric keys an optional "telemetry" section must carry (schema v2);
+#: all derived from simulated time, so ``bench diff`` treats every one
+#: as zero-tolerance drift
+TELEMETRY_SUMMARY_KEYS = (
+    "mean_occupancy_tbs",
+    "p95_occupancy_tbs",
+    "wavefront_efficiency",
+    "busy_fraction",
+    "total_overlap_ns",
+    "mean_overlap_fraction",
+    "idle_bubble_ns",
+    "idle_bubble_count",
 )
 
 #: simulated metrics every model entry must carry (zero-tolerance set)
@@ -188,9 +210,11 @@ def validate_report(payload):
     if payload.get("kind") != REPORT_KIND:
         errors.append("kind: expected {!r}".format(REPORT_KIND))
     version = payload.get("schema_version")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         errors.append(
-            "schema_version: expected {}, got {!r}".format(SCHEMA_VERSION, version)
+            "schema_version: expected one of {}, got {!r}".format(
+                SUPPORTED_SCHEMA_VERSIONS, version
+            )
         )
     if not isinstance(payload.get("created_utc"), str):
         errors.append("created_utc: missing or not a string")
@@ -313,6 +337,34 @@ def validate_report(payload):
                         errors.append(
                             "{}.num_segments: missing or not a number".format(cpath)
                         )
+            telemetry = mentry.get("telemetry")
+            if telemetry is not None:  # optional: --telemetry runs only
+                tpath = mpath + ".telemetry"
+                if not isinstance(telemetry, dict):
+                    errors.append("{}: not an object".format(tpath))
+                else:
+                    for key in TELEMETRY_SUMMARY_KEYS:
+                        if key not in telemetry:
+                            errors.append("{}.{}: missing".format(tpath, key))
+                        elif not _is_number(telemetry[key]):
+                            errors.append(
+                                "{}.{}: not a number".format(tpath, key)
+                            )
+                    pair_overlap = telemetry.get("pair_overlap")
+                    if not isinstance(pair_overlap, dict):
+                        errors.append(
+                            "{}.pair_overlap: missing or not an object".format(
+                                tpath
+                            )
+                        )
+                    else:
+                        for pair, value in pair_overlap.items():
+                            if not _is_number(value):
+                                errors.append(
+                                    "{}.pair_overlap.{}: not a number".format(
+                                        tpath, pair
+                                    )
+                                )
             profile = mentry.get("profile")
             if profile is not None:
                 if not isinstance(profile, list):

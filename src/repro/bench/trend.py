@@ -31,6 +31,19 @@ METRICS = {
         "speedup vs baseline",
         lambda v: "{:.3f}".format(v),
     ),
+    # telemetry metrics are optional sections (--telemetry runs only);
+    # reports without them render "-" in that column, like any other
+    # missing entry — mixed-era directories must stay viewable
+    "overlap": (
+        lambda entry: entry["telemetry"]["mean_overlap_fraction"],
+        "mean kernel-pair overlap",
+        lambda v: "{:.3f}".format(v),
+    ),
+    "occupancy": (
+        lambda entry: entry["telemetry"]["mean_occupancy_tbs"],
+        "mean occupancy [TBs]",
+        lambda v: "{:.1f}".format(v),
+    ),
 }
 
 

@@ -24,6 +24,16 @@ Commands:
                                       recorder: every scheduling event
                                       with its release edge, as digested
                                       JSONL (``docs/observability.md``)
+* ``telemetry <workload> [--model M]``
+                                    — hardware telemetry time series:
+                                      SM occupancy, queue depths,
+                                      DLB/PCB occupancy, per-pair
+                                      overlap, idle-bubble blame
+                                      (``--json``, ``--prom FILE``)
+* ``report <workload> [--model M]`` — single self-contained HTML
+                                      flight report: telemetry
+                                      timelines + critpath attribution
+                                      + overlap table + journal digest
 * ``jdiff <A> <B> [--window N]``    — align two journals, report the
                                       first divergence with blame and a
                                       waterfall window; exit 1 on drift
@@ -74,7 +84,16 @@ MODEL_CHOICES = MODEL_NAMES + sorted(MODEL_ALIASES)
 
 def cmd_list(args):
     if getattr(args, "json", None):
-        _emit_json([spec.as_dict() for spec in all_workloads()], args.json)
+        payload = []
+        for spec in all_workloads():
+            entry = spec.as_dict()
+            app = spec.build()
+            entry["num_kernels"] = app.trace.num_kernels
+            entry["total_tbs"] = sum(
+                call.num_tbs for call in app.trace.kernel_calls
+            )
+            payload.append(entry)
+        _emit_json(payload, args.json)
         return
     rows = [
         {
@@ -223,7 +242,8 @@ def cmd_compare(args):
         print(compare_timelines(runs[:1] + runs[2:], width=args.width))
 
 
-def _traced_run(workload, model_name, per_sm=False, provenance=None):
+def _traced_run(workload, model_name, per_sm=False, provenance=None,
+                telemetry=None):
     """Build, plan, and simulate one workload under full observation.
 
     Returns ``(app, stats, tracer, metrics, plan, model)`` — shared by
@@ -240,7 +260,8 @@ def _traced_run(workload, model_name, per_sm=False, provenance=None):
     plan = runtime.plan(app, reorder=reorder, window=window)
     model = _make_model(model_name, runtime.config)
     stats = model.run(
-        plan, tracer=tracer, metrics=metrics, provenance=provenance
+        plan, tracer=tracer, metrics=metrics, provenance=provenance,
+        telemetry=telemetry,
     )
     return app, stats, tracer, metrics, plan, model
 
@@ -249,12 +270,22 @@ def cmd_trace(args):
     from repro.obs import critpath as cp
 
     prov = cp.ProvenanceRecorder() if args.critpath else None
+    sampler = None
+    if args.telemetry:
+        from repro.obs import telemetry as tm
+
+        sampler = tm.TelemetrySampler()
     app, stats, tracer, metrics, plan, _model = _traced_run(
-        args.workload, args.model, per_sm=args.per_sm, provenance=prov
+        args.workload, args.model, per_sm=args.per_sm, provenance=prov,
+        telemetry=sampler,
     )
     if prov is not None:
         segments = cp.extract_critical_path(stats, plan, prov)
         cp.emit_critpath_flow(tracer, segments)
+    if sampler is not None:
+        from repro.obs import telemetry as tm
+
+        tm.emit_telemetry_counters(tracer, tm.build_report(stats, sampler))
     out = args.output or "{}-trace.json".format(app.name)
     tracer.write(out)
     sidecar = args.metrics_out or (
@@ -334,6 +365,43 @@ def cmd_journal(args):
         len(recorder.events), out
     ))
     print("digest   :", recorder.digest())
+
+
+def cmd_telemetry(args):
+    from repro.obs import telemetry as tm
+
+    sampler, stats = tm.record_telemetry(args.workload, args.model)
+    report = tm.build_report(stats, sampler)
+    errors = tm.validate_telemetry_report(report)
+    if errors:  # a sampler bug, not a user error — fail loudly
+        raise AssertionError(
+            "generated telemetry report is invalid: {}".format(errors[:3])
+        )
+    if args.prom:
+        write_text(tm.write_prometheus(report), args.prom)
+    if args.json:
+        _emit_json(report, args.json)
+        if args.json == "-":
+            return
+    print(tm.format_telemetry(report, limit=args.limit))
+
+
+def cmd_report(args):
+    from repro.obs import flight
+
+    path, data = flight.write_flight_report(
+        args.workload, args.model, out=args.out, bench_dir=args.bench
+    )
+    telemetry = data["telemetry"]
+    print("model    :", data["model"])
+    print("makespan : {:.1f} us (simulated)".format(
+        telemetry["makespan_ns"] / 1000
+    ))
+    print("overlap  : {} kernel pair{} with achieved overlap".format(
+        len(telemetry["overlap"]["pairs"]),
+        "" if len(telemetry["overlap"]["pairs"]) == 1 else "s",
+    ))
+    print("report   : {} (self-contained HTML)".format(path))
 
 
 def cmd_jdiff(args):
@@ -424,6 +492,7 @@ def cmd_bench_run(args):
         jobs=args.jobs,
         cache_dir=cache_dir,
         critpath=args.critpath,
+        telemetry=args.telemetry,
     )
     payload = bench.run_suite(config, status_file=args.status_file)
     errors = bench.validate_report(payload)
@@ -701,6 +770,11 @@ def build_parser():
         help="overlay the critical path as Perfetto flow-event arrows",
     )
     p_trace.add_argument(
+        "--telemetry", action="store_true",
+        help="merge hardware telemetry counter tracks (occupancy, "
+             "queue depths, DLB/PCB entries) into the trace",
+    )
+    p_trace.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -770,6 +844,51 @@ def build_parser():
     p_journal.add_argument(
         "--out", default=None, metavar="FILE",
         help="journal path (default: <workload>-<model>.journal.jsonl)",
+    )
+
+    p_telemetry = sub.add_parser(
+        "telemetry",
+        help="hardware telemetry: occupancy/queue/DLB time series, "
+             "overlap analysis, idle-bubble blame",
+    )
+    p_telemetry.add_argument("workload")
+    p_telemetry.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3"
+    )
+    p_telemetry.add_argument(
+        "--limit", type=int, default=10,
+        help="kernel pairs / bubbles to show in text mode (default: 10)",
+    )
+    p_telemetry.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="schema-validated telemetry report to stdout (no FILE) or FILE",
+    )
+    p_telemetry.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="also write a Prometheus text-exposition snapshot to FILE",
+    )
+
+    p_report = sub.add_parser(
+        "report",
+        help="one-stop HTML flight report: telemetry + critpath + "
+             "journal + bench deltas",
+    )
+    p_report.add_argument("workload")
+    p_report.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3"
+    )
+    p_report.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="report path (default: flight-<workload>-<model>.html)",
+    )
+    p_report.add_argument(
+        "--bench", default=None, metavar="DIR",
+        help="include wall/simulated deltas from the two newest "
+             "BENCH_*.json reports in DIR",
     )
 
     p_jdiff = sub.add_parser(
@@ -875,6 +994,12 @@ def build_parser():
         help="embed per-model critical-path attribution (one extra "
              "untimed provenance pass per cell; see bench diff)",
     )
+    b_run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="embed per-cell telemetry summaries (occupancy, overlap, "
+             "idle bubbles; one extra untimed pass per cell)",
+    )
     b_run.add_argument("--profile-top", type=int, default=15, metavar="K")
     b_run.add_argument(
         "--out", default=".", metavar="DIR",
@@ -961,6 +1086,8 @@ COMMANDS = {
     "blame": cmd_blame,
     "critpath": cmd_critpath,
     "journal": cmd_journal,
+    "telemetry": cmd_telemetry,
+    "report": cmd_report,
     "jdiff": cmd_jdiff,
     "experiments": cmd_experiments,
     "ablations": cmd_ablations,

@@ -94,6 +94,7 @@ class ExperimentContext:
     _plans: Dict[Tuple[str, bool, int], RuntimePlan] = field(default_factory=dict)
     _runs: Dict[Tuple[str, str], object] = field(default_factory=dict)
     _critpaths: Dict[Tuple[str, str], Dict[str, float]] = field(default_factory=dict)
+    _telemetry: Dict[Tuple[str, str], Dict[str, object]] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.runtime is None:
@@ -157,6 +158,32 @@ class ExperimentContext:
             report = build_report(stats, plan, prov, self.gpu_config)
             self._critpaths[key] = dict(report["attribution_fraction"])
         return self._critpaths[key]
+
+    def telemetry_summary(self, app, model_name):
+        """Flat telemetry summary (occupancy/overlap/bubbles), memoized.
+
+        Like :meth:`critpath_attribution`, a separate sampler-carrying
+        pass so the memoized :meth:`run_model` result stays
+        observation-free and experiment signatures are untouched.
+        """
+        model_name = canonical_model_name(model_name)
+        key = (app.name, model_name)
+        if key not in self._telemetry:
+            # Lazy for the same reason as critpath: telemetry must not
+            # be imported from repro.obs.__init__ (engine import cycle).
+            from repro.obs.telemetry import (
+                TelemetrySampler,
+                bench_summary,
+                build_report,
+            )
+
+            reorder, window = _model_plan_params(model_name)
+            plan = self.plan_for(app, reorder, window)
+            model = _make_model(model_name, self.gpu_config)
+            sampler = TelemetrySampler()
+            stats = model.run(plan, telemetry=sampler)
+            self._telemetry[key] = bench_summary(build_report(stats, sampler))
+        return self._telemetry[key]
 
     def run_all(self, app, model_names=None):
         names = model_names or [m[0] for m in STANDARD_MODELS]

@@ -23,6 +23,7 @@ def run(ctx: ExperimentContext = None, benchmarks=None, models=MODELS):
             stats = ctx.run_model(app, model)
             q1, median, q3 = stats.stall_quartiles()
             attr = ctx.critpath_attribution(app, model)
+            telemetry = ctx.telemetry_summary(app, model)
             rows.append(
                 {
                     "benchmark": name,
@@ -41,6 +42,11 @@ def run(ctx: ExperimentContext = None, benchmarks=None, models=MODELS):
                         + attr.get("occupancy", 0.0)
                         + attr.get("barrier", 0.0)
                     ),
+                    # telemetry view of the same story: how much
+                    # cross-kernel overlap the model achieved, and what
+                    # fraction of the makespan any TB was resident
+                    "tm_overlap": telemetry["mean_overlap_fraction"],
+                    "tm_busy": telemetry["busy_fraction"],
                 }
             )
     return rows
@@ -50,7 +56,7 @@ def format_rows(rows):
     return format_table(
         rows,
         ["benchmark", "model", "q1", "median", "q3", "max",
-         "cp_exec", "cp_launch", "cp_stall"],
+         "cp_exec", "cp_launch", "cp_stall", "tm_overlap", "tm_busy"],
         title="Figure 11: dependency stall distribution (normalized to TB time)",
     )
 

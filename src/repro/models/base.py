@@ -124,7 +124,7 @@ class ExecutionModel:
 
     def run(
         self, plan: RuntimePlan, tracer=None, metrics=None, provenance=None,
-        journal=None,
+        journal=None, telemetry=None,
     ) -> RunStats:
         """Simulate ``plan``; pass a tracer/metrics registry to observe.
 
@@ -134,6 +134,9 @@ class ExecutionModel:
         critical-path extraction.  ``journal`` may be a
         :class:`repro.obs.journal.JournalRecorder`; the engine then
         emits every scheduling event into the flight recorder.
+        ``telemetry`` may be a
+        :class:`repro.obs.telemetry.TelemetrySampler`; the engine then
+        feeds it the same event stream for occupancy/overlap analysis.
         Instrumentation is observation only — results are identical
         whether or not a tracer or recorder is attached.
         """
@@ -154,6 +157,7 @@ class ExecutionModel:
                 metrics=metrics,
                 provenance=provenance,
                 journal=journal,
+                telemetry=telemetry,
             )
             return engine.run()
 
@@ -213,6 +217,7 @@ class ExecutionEngine:
         metrics=None,
         provenance=None,
         journal=None,
+        telemetry=None,
         device=None,
     ):
         self.plan = plan
@@ -224,6 +229,8 @@ class ExecutionEngine:
         self.prov = provenance
         #: observation-only flight recorder of every engine event
         self.journal = journal
+        #: observation-only time-series sampler (occupancy, queues, DLB)
+        self.telemetry = telemetry
         #: the event context: what kind of event is currently executing
         #: (provenance annotation only — never consulted for scheduling)
         self._ctx = ("host",)
@@ -325,6 +332,8 @@ class ExecutionEngine:
             self.prov.begin(self)
         if self.journal is not None:
             self.journal.begin(self)
+        if self.telemetry is not None:
+            self.telemetry.begin(self)
         self._init_fine_grain()
         self.events.schedule(0.0, self._host_resume)
         makespan = self.events.run()
@@ -353,6 +362,8 @@ class ExecutionEngine:
             self.prov.finalize(self)
         if self.journal is not None:
             self.journal.finalize(self)
+        if self.telemetry is not None:
+            self.telemetry.finalize(self)
         self._emit_trace(stats)
         self._record_metrics(stats)
         return stats
@@ -360,11 +371,14 @@ class ExecutionEngine:
     def _journal_emit(self, kind, **fields):
         """Emit one flight-recorder event at the current engine time.
 
-        Observation only: the journal never feeds back into scheduling,
-        so simulated signatures are byte-identical with it on or off.
+        Observation only: neither the journal nor the telemetry sampler
+        feeds back into scheduling, so simulated signatures are
+        byte-identical with them on or off.
         """
         if self.journal is not None:
             self.journal.emit(kind, self.events.now, **fields)
+        if self.telemetry is not None:
+            self.telemetry.observe(kind, self.events.now, **fields)
 
     # ------------------------------------------------------------------
     # observability (pure observation: derived from the finished run's

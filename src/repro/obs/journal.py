@@ -161,10 +161,11 @@ class JournalRecorder:
 # ----------------------------------------------------------------------
 def write_journal(recorder, path):
     """Write header + events as JSONL; returns ``path``."""
-    with open(path, "w") as handle:
-        handle.write(canonical_line(recorder.header()) + "\n")
-        for event in recorder.events:
-            handle.write(canonical_line(event) + "\n")
+    from repro.obs.report import atomic_write_text
+
+    lines = [canonical_line(recorder.header())]
+    lines.extend(canonical_line(event) for event in recorder.events)
+    atomic_write_text("\n".join(lines) + "\n", path)
     return path
 
 

@@ -228,8 +228,9 @@ class MetricsRegistry:
         return json.dumps(self.snapshot(), indent=indent)
 
     def write(self, path):
-        with open(path, "w") as handle:
-            handle.write(self.to_json())
+        from repro.obs.report import atomic_write_text
+
+        atomic_write_text(self.to_json(), path)
         return path
 
 
@@ -300,8 +301,9 @@ class NullMetrics:
         return json.dumps(self.snapshot(), indent=indent)
 
     def write(self, path):
-        with open(path, "w") as handle:
-            handle.write(self.to_json())
+        from repro.obs.report import atomic_write_text
+
+        atomic_write_text(self.to_json(), path)
         return path
 
 

@@ -16,6 +16,34 @@ tracer was attached, launch-time pipeline phases (real wall clock).
 import json
 import os
 import sys
+import tempfile
+
+
+def atomic_write_text(text, path):
+    """The one file writer behind every ``--out``/``-o`` artifact flag.
+
+    Creates missing parent directories, writes to a temporary file in
+    the destination directory, then atomically renames it into place —
+    so a crashed run never leaves a truncated report, and
+    ``--out deep/new/dir/file`` just works instead of raising a bare
+    ``FileNotFoundError``.  Returns ``path``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix="." + os.path.basename(path) + ".", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def dump_json(payload, destination, indent=2, sort_keys=True):
@@ -29,8 +57,7 @@ def dump_json(payload, destination, indent=2, sort_keys=True):
     if destination == "-":
         sys.stdout.write(text + "\n")
     else:
-        with open(destination, "w") as handle:
-            handle.write(text + "\n")
+        atomic_write_text(text + "\n", destination)
     return destination
 
 
@@ -47,8 +74,7 @@ def write_text(text, destination=None):
     if destination in (None, "-"):
         sys.stdout.write(text)
     else:
-        with open(destination, "w") as handle:
-            handle.write(text)
+        atomic_write_text(text, destination)
         print("wrote", destination)
     return destination
 
@@ -254,13 +280,11 @@ def jsonable(value):
 
 def write_experiment_report(out_dir, name, rows, elapsed_s):
     """Write one experiment's rows as ``<out_dir>/<name>.json``."""
-    os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, "{}.json".format(name))
     payload = {
         "experiment": name,
         "elapsed_s": elapsed_s,
         "rows": jsonable(rows),
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    atomic_write_text(json.dumps(payload, indent=2), path)
     return path

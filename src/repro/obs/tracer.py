@@ -258,8 +258,9 @@ class Tracer:
         return json.dumps(self.to_dict(), indent=indent)
 
     def write(self, path):
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle)
+        from repro.obs.report import atomic_write_text
+
+        atomic_write_text(self.to_json(), path)
         return path
 
 

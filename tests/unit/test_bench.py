@@ -414,3 +414,95 @@ class TestFastpathSuite:
         assert "closed-form graphs total: 4" in text
         assert census_closed_form_total(census) == 4
         assert census_closed_form_total({"w": {"vectorized": 2}}) == 0
+
+
+def _telemetry_section(overlap=0.5):
+    return {
+        "mean_occupancy_tbs": 12.0,
+        "p95_occupancy_tbs": 30.0,
+        "wavefront_efficiency": 0.8,
+        "busy_fraction": 0.7,
+        "total_overlap_ns": 5000.0,
+        "mean_overlap_fraction": overlap,
+        "idle_bubble_ns": 1000.0,
+        "idle_bubble_count": 2,
+        "pair_overlap": {"k0->k1": overlap},
+    }
+
+
+class TestTelemetrySection:
+    def test_valid_telemetry_section(self):
+        report = make_report()
+        entry = report["workloads"]["mvt"]["models"]["consumer3"]
+        entry["telemetry"] = _telemetry_section()
+        assert validate_report(report) == []
+
+    def test_v1_reports_still_accepted(self):
+        # pre-telemetry history (the committed BENCH_*.json baselines)
+        # must keep loading under the v2 validator
+        report = make_report()
+        report["schema_version"] = 1
+        assert validate_report(report) == []
+
+    def test_rejects_unsupported_version(self):
+        report = make_report()
+        report["schema_version"] = 99
+        assert any("schema_version" in e for e in validate_report(report))
+
+    def test_rejects_malformed_telemetry(self):
+        report = make_report()
+        entry = report["workloads"]["mvt"]["models"]["consumer3"]
+        entry["telemetry"] = {"mean_occupancy_tbs": "high"}
+        errors = validate_report(report)
+        assert any("telemetry.mean_occupancy_tbs" in e for e in errors)
+        assert any("telemetry.pair_overlap" in e for e in errors)
+
+    def test_diff_flags_overlap_drift(self):
+        old = make_report()
+        new = copy.deepcopy(old)
+        old_entry = old["workloads"]["mvt"]["models"]["consumer3"]
+        new_entry = new["workloads"]["mvt"]["models"]["consumer3"]
+        old_entry["telemetry"] = _telemetry_section(overlap=0.5)
+        new_entry["telemetry"] = _telemetry_section(overlap=0.4)
+        result = diff_reports(old, new)
+        metrics = {d.metric for d in result.drift}
+        assert "telemetry.mean_overlap_fraction" in metrics
+        assert "telemetry.pair_overlap.k0->k1" in metrics
+        assert result.failed()
+
+    def test_diff_ignores_missing_telemetry(self):
+        # mixed-era pair: only one side carries the optional section
+        old = make_report()
+        new = copy.deepcopy(old)
+        new_entry = new["workloads"]["mvt"]["models"]["consumer3"]
+        new_entry["telemetry"] = _telemetry_section()
+        result = diff_reports(old, new)
+        assert result.drift == []
+        assert not result.failed()
+
+    def test_trend_tolerates_mixed_era_reports(self, tmp_path):
+        # one v1 report without telemetry, one v2 report with it: the
+        # overlap column renders "-" for the older report, and legacy
+        # metrics still work across both
+        old = make_report(stamp="2026-08-01T10:00:00Z")
+        old["schema_version"] = 1
+        new = make_report(stamp="2026-08-02T10:00:00Z")
+        new["workloads"]["mvt"]["models"]["consumer3"]["telemetry"] = (
+            _telemetry_section(overlap=0.25)
+        )
+        write_report(old, path=str(tmp_path / "BENCH_1.json"))
+        write_report(new, path=str(tmp_path / "BENCH_2.json"))
+        reports = load_reports(str(tmp_path))
+        assert len(reports) == 2
+        _header, rows = trend_rows(reports, metric="overlap")
+        row = rows[0]
+        assert row["08-01 10:00"] == "-"
+        assert row["08-02 10:00"] == "0.250"
+        _header, wall_rows = trend_rows(reports, metric="wall")
+        assert all(v != "-" for k, v in wall_rows[0].items()
+                   if k not in ("workload", "model"))
+
+    def test_resolve_config_telemetry_flag(self):
+        config = resolve_config(quick=True, telemetry=True)
+        assert config.telemetry is True
+        assert config.as_dict()["telemetry"] is True
