@@ -124,13 +124,18 @@ def resolve_config(
     cache_dir=None,
     critpath=False,
     telemetry=False,
+    fuzz=None,
+    fuzz_seed=0,
 ):
     """Fold CLI-ish arguments into a concrete :class:`BenchConfig`.
 
     Precedence: explicit flags beat ``--quick`` presets beat defaults.
     ``models`` may include ``"all"`` for the full roster and aliases
     (``blockmaestro``); names are canonicalized and validated here so
-    unknown ones fail before any work is done.
+    unknown ones fail before any work is done.  ``fuzz=N`` appends N
+    seeded generator applications (``fuzz-<seed>``..``fuzz-<seed+N-1>``,
+    see :mod:`repro.fuzz`) as extra load-generator workloads; with
+    ``--filter`` they are the only way such hidden names enter a run.
     """
     if filter_globs:
         specs = matching_workloads(filter_globs)
@@ -139,6 +144,11 @@ def resolve_config(
         workloads = QUICK_WORKLOADS
     else:
         workloads = tuple(spec.name for spec in all_workloads())
+    if fuzz:
+        first = int(fuzz_seed or 0)
+        workloads = workloads + tuple(
+            "fuzz-{}".format(first + i) for i in range(int(fuzz))
+        )
     if models:
         expanded = []
         for name in models:

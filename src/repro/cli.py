@@ -47,6 +47,13 @@ Commands:
                                       microbench: reference vs tiered
                                       graph build (``--census`` for the
                                       per-workload tier breakdown)
+* ``fuzz [--count N] [--seed S]``   — differential fuzzing: seeded
+                                      generator corpus, every
+                                      ``REPRO_FASTPATH`` mode vs the
+                                      scalar oracle, minimized repro
+                                      files on divergence; exit 1 on
+                                      any divergence
+                                      (``docs/fuzzing.md``)
 
 Model names accept the roster (``baseline``, ``ideal``, ``prelaunch``,
 ``producer``, ``consumer2``..``consumer4``) plus the ``blockmaestro``
@@ -493,6 +500,8 @@ def cmd_bench_run(args):
         cache_dir=cache_dir,
         critpath=args.critpath,
         telemetry=args.telemetry,
+        fuzz=args.fuzz,
+        fuzz_seed=args.fuzz_seed,
     )
     payload = bench.run_suite(config, status_file=args.status_file)
     errors = bench.validate_report(payload)
@@ -664,6 +673,39 @@ def cmd_bench(args):
         "fastpath": cmd_bench_fastpath,
     }[args.bench_command]
     return handler(args)
+
+
+def cmd_fuzz(args):
+    from repro import fuzz
+    from repro.obs.log import get_logger
+
+    try:
+        config = fuzz.resolve_fuzz_config(
+            count=args.count,
+            seed=args.seed,
+            modes=args.modes,
+            model=args.model,
+            jobs=args.jobs,
+            out_dir=args.out,
+            shrink=not args.no_shrink,
+        )
+    except ValueError as exc:
+        # bad count/seed/mode: one line, exit 2, like unknown names
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    report = fuzz.run_fuzz(config, log=get_logger("fuzz").info)
+    errors = fuzz.validate_fuzz_report(report)
+    if errors:  # a harness bug, not a user error — fail loudly
+        raise AssertionError(
+            "generated fuzz report is invalid: {}".format(errors[:3])
+        )
+    exit_code = 1 if report["num_divergent"] else 0
+    if args.json:
+        _emit_json(report, args.json)
+        if args.json == "-":
+            return exit_code
+    print(fuzz.format_fuzz(report))
+    return exit_code
 
 
 def cmd_experiments(args):
@@ -911,6 +953,49 @@ def build_parser():
         help="machine-readable jdiff report to stdout (no FILE) or FILE",
     )
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: seeded corpus, fastpath tiers vs "
+             "the scalar oracle, shrinking repro files on divergence",
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=50, metavar="N",
+        help="number of generated cases (default: 50)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="first case seed; case i uses seed S+i (default: 0)",
+    )
+    p_fuzz.add_argument(
+        "--modes", nargs="+", default=None, metavar="MODE",
+        help="fastpath modes to check against the reference oracle "
+             "(default: closed_form vectorized auto)",
+    )
+    p_fuzz.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3"
+    )
+    p_fuzz.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="check cases on N worker processes; the report is "
+             "bit-identical to --jobs 1",
+    )
+    p_fuzz.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="schema-validated fuzz report to stdout (no FILE) or FILE",
+    )
+    p_fuzz.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for minimized repro-fuzz-case files (default: .)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without minimizing them",
+    )
+
     p_exp = sub.add_parser("experiments", help="regenerate paper artifacts")
     p_exp.add_argument("names", nargs="*")
     p_exp.add_argument(
@@ -966,6 +1051,15 @@ def build_parser():
         default=None,
         metavar="GLOB",
         help="workload subset as shell globs (e.g. 'mvt' 'f*')",
+    )
+    b_run.add_argument(
+        "--fuzz", type=int, default=None, metavar="N",
+        help="append N seeded fuzz applications (fuzz-<seed>..) as "
+             "extra load-generator workloads (docs/fuzzing.md)",
+    )
+    b_run.add_argument(
+        "--fuzz-seed", type=int, default=0, metavar="S",
+        help="first fuzz workload seed for --fuzz (default: 0)",
     )
     b_run.add_argument("--repeats", type=int, default=None, metavar="N")
     b_run.add_argument("--warmup", type=int, default=None, metavar="N")
@@ -1089,6 +1183,7 @@ COMMANDS = {
     "telemetry": cmd_telemetry,
     "report": cmd_report,
     "jdiff": cmd_jdiff,
+    "fuzz": cmd_fuzz,
     "experiments": cmd_experiments,
     "ablations": cmd_ablations,
     "bench": cmd_bench,

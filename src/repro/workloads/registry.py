@@ -175,7 +175,12 @@ def all_workloads():
 
 
 def get_workload(name) -> WorkloadSpec:
-    """Look up a benchmark by name (case-insensitive: ``MVT`` == ``mvt``)."""
+    """Look up a benchmark by name (case-insensitive: ``MVT`` == ``mvt``).
+
+    ``fuzz-<seed>`` names resolve to seeded generator applications
+    (:func:`repro.workloads.ptxgen.fuzz_workload_spec`); like the other
+    hidden extras they never join ``all_workloads()``/``--filter``.
+    """
     key = str(name).lower()
     try:
         return _BY_NAME[key]
@@ -184,11 +189,16 @@ def get_workload(name) -> WorkloadSpec:
     try:
         return _extra_specs()[key]
     except KeyError:
-        raise UnknownWorkloadError(
-            "unknown workload {!r}; available: {}".format(
-                name, ", ".join(workload_names())
-            )
-        ) from None
+        pass
+    if key.startswith("fuzz-") and key[len("fuzz-"):].isdigit():
+        from repro.workloads.ptxgen import fuzz_workload_spec
+
+        return fuzz_workload_spec(int(key[len("fuzz-"):]))
+    raise UnknownWorkloadError(
+        "unknown workload {!r}; available: {}".format(
+            name, ", ".join(workload_names())
+        )
+    ) from None
 
 
 def matching_workloads(patterns):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.analyzer import LaunchConfig, analyze_kernel
+from repro.analysis.cache import CACHE_DIR_ENV, AnalysisCache
 from repro.core.runtime import BlockMaestroRuntime
 from repro.ptx.parser import parse_kernel
 from repro.sim.config import GPUConfig
@@ -125,6 +126,26 @@ def vecadd_summary(vecadd_kernel):
         args={"A": 0, "B": 1 << 16, "C": 1 << 17, "N": 256},
     )
     return analyze_kernel(vecadd_kernel, launch)
+
+
+class _TmpCache(AnalysisCache):
+    def sibling(self, metrics=None):
+        """Another instance over the same directory (warm-cache tests)."""
+        return AnalysisCache(self.directory, metrics=metrics)
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    """An :class:`AnalysisCache` rooted in a per-test tempdir.
+
+    Also exports the directory via ``REPRO_CACHE_DIR`` so code that
+    resolves the cache location from the environment (runtime defaults,
+    the CLI, the fuzz harness) lands in the same isolated directory
+    instead of polluting ``~/.cache/repro``.
+    """
+    cache_dir = str(tmp_path / "cache")
+    monkeypatch.setenv(CACHE_DIR_ENV, cache_dir)
+    return _TmpCache(cache_dir)
 
 
 @pytest.fixture

@@ -1,0 +1,49 @@
+"""Regression loader: checked-in minimized fuzz cases must stay green.
+
+Every ``cases/*.json`` file is a ``repro-fuzz-case`` the harness once
+minimized for a real (or canary-planted) divergence.  Replaying one
+re-runs the full pipeline on its spec under the recorded modes and
+compares against the scalar oracle; an empty divergence list means the
+bug it documents has not come back.
+
+To check in a new case: take the ``fuzz-case-*.json`` that
+``repro fuzz`` wrote next to the report, confirm it replays green on a
+fixed tree, and drop it into ``tests/regression/cases/`` (see
+``docs/fuzzing.md``).
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import load_case, replay_case, validate_case
+
+CASE_DIR = os.path.join(os.path.dirname(__file__), "cases")
+CASE_PATHS = sorted(glob.glob(os.path.join(CASE_DIR, "*.json")))
+
+
+def _case_id(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def test_corpus_is_not_empty():
+    # the loader itself is exercised by at least the canary's case
+    assert CASE_PATHS
+
+
+@pytest.mark.parametrize("path", CASE_PATHS, ids=_case_id)
+def test_case_is_valid(path):
+    assert validate_case(load_case(path)) == []
+
+
+@pytest.mark.parametrize("path", CASE_PATHS, ids=_case_id)
+def test_case_replays_green(path):
+    case = load_case(path)
+    divergences = replay_case(case)
+    assert divergences == [], (
+        "minimized case {} reproduces again — a previously fixed "
+        "divergence has returned: {}".format(
+            os.path.basename(path), divergences[:3]
+        )
+    )

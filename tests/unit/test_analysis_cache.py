@@ -41,10 +41,10 @@ class TestDirectoryResolution:
 
 
 class TestKeys:
-    def test_summary_key_is_stable_across_instances(self, vecadd_kernel, tmp_path):
+    def test_summary_key_is_stable_across_instances(self, vecadd_kernel, tmp_cache):
         launch = _launch()
-        key1 = AnalysisCache(str(tmp_path)).summary_key(vecadd_kernel, launch, 64)
-        key2 = AnalysisCache(str(tmp_path)).summary_key(vecadd_kernel, launch, 64)
+        key1 = tmp_cache.sibling().summary_key(vecadd_kernel, launch, 64)
+        key2 = tmp_cache.sibling().summary_key(vecadd_kernel, launch, 64)
         assert key1 == key2
 
     def test_summary_key_covers_every_input(self, vecadd_kernel, rowsum_kernel):
@@ -77,9 +77,9 @@ class TestKeys:
 
 
 class TestStorage:
-    def test_roundtrip_preserves_summary_behavior(self, vecadd_kernel, tmp_path):
+    def test_roundtrip_preserves_summary_behavior(self, vecadd_kernel, tmp_cache):
         metrics = MetricsRegistry()
-        cache = AnalysisCache(str(tmp_path), metrics=metrics)
+        cache = tmp_cache.sibling(metrics)
         launch = _launch()
         summary = analyze_kernel(vecadd_kernel, launch)
         key = cache.summary_key(vecadd_kernel, launch, 64)
@@ -100,9 +100,9 @@ class TestStorage:
         assert counters["cache.summary.hits"] == 1
         assert counters["cache.summary.stores"] == 1
 
-    def test_corrupt_entry_invalidates_and_self_heals(self, tmp_path):
+    def test_corrupt_entry_invalidates_and_self_heals(self, tmp_cache):
         metrics = MetricsRegistry()
-        cache = AnalysisCache(str(tmp_path), metrics=metrics)
+        cache = tmp_cache.sibling(metrics)
         key = cache.graph_key("p", "c", ("raw",), 8)
         cache.put_graph(key, {"ok": True})
         path = cache._path("graph", key)
@@ -115,8 +115,8 @@ class TestStorage:
         assert counters["cache.invalidations"] == 1
         assert counters["cache.graph.misses"] == 1
 
-    def test_put_degrades_gracefully_on_unwritable_dir(self, tmp_path, monkeypatch):
-        cache = AnalysisCache(str(tmp_path))
+    def test_put_degrades_gracefully_on_unwritable_dir(self, tmp_cache, monkeypatch):
+        cache = tmp_cache
 
         def refuse(*args, **kwargs):
             raise OSError("read-only file system")
@@ -124,9 +124,9 @@ class TestStorage:
         monkeypatch.setattr(os, "makedirs", refuse)
         assert cache.put_graph("ab" * 32, {"x": 1}) is False
 
-    def test_entry_count_and_counters(self, tmp_path):
+    def test_entry_count_and_counters(self, tmp_cache):
         metrics = MetricsRegistry()
-        cache = AnalysisCache(str(tmp_path), metrics=metrics)
+        cache = tmp_cache.sibling(metrics)
         assert cache.entry_count() == 0
         cache.put_graph(cache.graph_key("a", "b", ("raw",), 8), 1)
         cache.put_graph(cache.graph_key("a", "c", ("raw",), 8), 2)
@@ -137,11 +137,11 @@ class TestStorage:
 
 
 class TestRuntimeIntegration:
-    def test_warm_cache_skips_analysis_and_preserves_plan(self, tmp_path, chain_app):
+    def test_warm_cache_skips_analysis_and_preserves_plan(self, tmp_cache, chain_app):
         cold_metrics = MetricsRegistry()
         cold = BlockMaestroRuntime(
             metrics=cold_metrics,
-            cache=AnalysisCache(str(tmp_path), metrics=cold_metrics),
+            cache=tmp_cache.sibling(cold_metrics),
         )
         plan_cold = cold.plan(chain_app, reorder=True, window=3)
         cold_counters = cold_metrics.snapshot()["counters"]
@@ -151,7 +151,7 @@ class TestRuntimeIntegration:
         warm_metrics = MetricsRegistry()
         warm = BlockMaestroRuntime(
             metrics=warm_metrics,
-            cache=AnalysisCache(str(tmp_path), metrics=warm_metrics),
+            cache=tmp_cache.sibling(warm_metrics),
         )
         plan_warm = warm.plan(chain_app, reorder=True, window=3)
         warm_counters = warm_metrics.snapshot()["counters"]
@@ -177,7 +177,7 @@ class TestRuntimeIntegration:
                     == kp_cold.encoded.original_pattern.pattern
                 )
 
-    def test_dependency_override_bypasses_graph_cache(self, tmp_path):
+    def test_dependency_override_bypasses_graph_cache(self, tmp_cache):
         from tests.conftest import make_chain_app
 
         app = make_chain_app(num_pairs=1)
@@ -191,7 +191,7 @@ class TestRuntimeIntegration:
         launches[1].dependency_override = override
         metrics = MetricsRegistry()
         runtime = BlockMaestroRuntime(
-            metrics=metrics, cache=AnalysisCache(str(tmp_path), metrics=metrics)
+            metrics=metrics, cache=tmp_cache.sibling(metrics)
         )
         runtime.plan(app, reorder=True, window=3)
         counters = metrics.snapshot()["counters"]
