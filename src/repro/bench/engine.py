@@ -1,0 +1,193 @@
+"""The ``fast-engine`` microbench suite (``repro bench engine``).
+
+Measures the :mod:`repro.models.fastengine` simulation tiers against
+the scalar event-queue engine on device-serial workloads with large
+grids — a long 1-to-1 map chain, a single very wide kernel, and a
+fully-connected hop chain (see
+:func:`repro.workloads.microbench.engine_specs`).  The driver runs the
+same suite twice, cold:
+
+1. ``REPRO_ENGINE=reference`` — every run through the scalar
+   event-queue oracle (``BENCH_before_reference.json``);
+2. ``REPRO_ENGINE=auto``      — tiered fast engine
+   (``BENCH_after_engine.json``);
+
+then diffs the two reports.  Because the tiers are differential-tested
+to produce *identical* :class:`~repro.sim.stats.RunStats`, the diff
+must show **zero simulated drift** — any drift is a fast-engine
+correctness bug and :func:`run_engine_bench` flags it.  The wall-clock
+win lands in the ``simulate`` phase (the ``model:*`` span);
+``benchmarks/engine_demo/`` holds a committed run.
+
+The suite benches both the ``baseline`` model (pure device-serial,
+always fast-engine eligible) and ``consumer3`` (fine-grain
+BlockMaestro).  Under fine-grain dependencies the fast engine only
+accepts fully-connected cross-kernel graphs — so ``consumer3``
+accelerates only ``eng-fc`` and honestly falls back to the oracle on
+the 1-to-1 chains, which the per-tier counters in the ``engine``
+report section make visible.
+
+:func:`registry_engine_census` answers a different question — on the
+registry workloads (small variants) plus the engine microbenches,
+which tier simulates each model run under a jitter-free
+:class:`~repro.sim.config.GPUConfig`? — and backs the CI gate that
+the closed-form tier keeps firing on the proven-pattern microbenches.
+"""
+
+import os
+
+from repro.bench.diff import diff_reports, format_diff
+from repro.bench.runner import BenchConfig, run_suite, write_report
+from repro.core.runtime import BlockMaestroRuntime
+from repro.experiments.common import _make_model, _model_plan_params
+from repro.models.fastengine import ENGINE_ENV
+from repro.obs import MetricsRegistry
+from repro.sim.config import GPUConfig
+from repro.workloads import all_workloads, get_workload
+
+#: the suite: hidden device-serial microbenches with large grids
+ENGINE_WORKLOADS = ("eng-chain", "eng-wide", "eng-fc")
+
+#: one always-eligible model plus a fine-grain model whose partial
+#: eligibility (only the fully-connected chain) the report makes visible
+ENGINE_MODELS = ("baseline", "consumer3")
+
+BEFORE_NAME = "BENCH_before_reference.json"
+AFTER_NAME = "BENCH_after_engine.json"
+DIFF_NAME = "DIFF.txt"
+
+
+def engine_config(repeats=3, warmup=1, jobs=1):
+    """A :class:`BenchConfig` for the engine suite.
+
+    Built directly (not via :func:`resolve_config`) because the eng-*
+    workloads are hidden from the registry's glob matching on purpose.
+    No ``cache_dir``: analysis cost is identical in both passes and not
+    under test.
+    """
+    return BenchConfig(
+        workloads=ENGINE_WORKLOADS,
+        models=ENGINE_MODELS,
+        repeats=max(1, int(repeats)),
+        warmup=max(0, int(warmup)),
+        jobs=max(1, int(jobs)),
+    )
+
+
+def _run_mode(mode, config, log):
+    """Run the suite with ``REPRO_ENGINE`` pinned to ``mode``.
+
+    The env var — not a runtime argument — is the knob because bench
+    cells may execute in forked worker processes, which inherit the
+    parent's environment.
+    """
+    saved = os.environ.get(ENGINE_ENV)
+    os.environ[ENGINE_ENV] = mode
+    try:
+        return run_suite(config, log=log)
+    finally:
+        if saved is None:
+            del os.environ[ENGINE_ENV]
+        else:
+            os.environ[ENGINE_ENV] = saved
+
+
+def _phase_p50(payload, wname, model, phase):
+    entry = payload["workloads"][wname]["models"][model]
+    return entry["wall"]["phases"][phase]["p50"]
+
+
+def run_engine_bench(out_dir, repeats=3, warmup=1, jobs=1, log=None):
+    """Before/after engine comparison; writes three files to ``out_dir``.
+
+    Returns a summary dict: report paths, per-(workload, model)
+    simulate-phase p50 speedups (reference / fast engine), the tier
+    counters of the fast-engine run, and ``drift`` (must be ``False``).
+    """
+    log = log if log is not None else (lambda msg: None)
+    os.makedirs(out_dir, exist_ok=True)
+    config = engine_config(repeats=repeats, warmup=warmup, jobs=jobs)
+
+    log("engine bench: reference pass ({} workloads x {} models)".format(
+        len(config.workloads), len(config.models)))
+    before = _run_mode("reference", config, log)
+    before_path = write_report(before, path=os.path.join(out_dir, BEFORE_NAME))
+
+    log("engine bench: fast-engine pass")
+    after = _run_mode("auto", config, log)
+    after_path = write_report(after, path=os.path.join(out_dir, AFTER_NAME))
+
+    result = diff_reports(before, after)
+    diff_text = format_diff(result)
+    diff_path = os.path.join(out_dir, DIFF_NAME)
+    with open(diff_path, "w") as handle:
+        handle.write(diff_text + "\n")
+
+    speedups = {}
+    for wname in config.workloads:
+        for model in config.models:
+            ref = _phase_p50(before, wname, model, "simulate")
+            fast = _phase_p50(after, wname, model, "simulate")
+            key = "{}/{}".format(wname, model)
+            speedups[key] = ref / fast if fast > 0 else float("inf")
+
+    return {
+        "before": before_path,
+        "after": after_path,
+        "diff": diff_path,
+        "simulate_speedups": speedups,
+        "counters": after.get("engine", {}).get("counters", {}),
+        "drift": bool(result.drift),
+    }
+
+
+def registry_engine_census(model="baseline"):
+    """Which engine tier simulates each workload under ``auto``?
+
+    Runs every registry workload's *small* variant — plus the engine
+    microbenches' small variants — through ``model`` with a jitter-free
+    :class:`GPUConfig` and collects the ``engine.*`` counters per
+    workload.  Jitter-free, because the closed-form tier requires
+    uniform per-TB durations; the census is the CI gate that the tier
+    keeps firing on the proven-pattern microbenches.  Returns
+    ``{workload: {tier_or_fallback: count}}``.
+    """
+    config = GPUConfig(duration_jitter=0.0)
+    reorder, window = _model_plan_params(model)
+    census = {}
+    names = [spec.name for spec in all_workloads()] + list(ENGINE_WORKLOADS)
+    for name in names:
+        spec = get_workload(name)
+        app = spec.build_small()
+        runtime = BlockMaestroRuntime(config)
+        plan = runtime.plan(app, reorder=reorder, window=window)
+        metrics = MetricsRegistry()
+        engine_model = _make_model(model, config)
+        engine_model.run(plan, metrics=metrics, engine="auto")
+        prefix = "engine."
+        census[spec.name] = {
+            counter[len(prefix):]: int(value)
+            for counter, value in metrics.snapshot()["counters"].items()
+            if counter.startswith(prefix)
+            and (counter.startswith("engine.tier.")
+                 or counter.startswith("engine.fallback."))
+        }
+    return census
+
+
+def format_census(census):
+    """One line per workload: ``name  tier.closed_form=.. ...``."""
+    lines = []
+    for name in sorted(census):
+        tiers = census[name]
+        detail = " ".join(
+            "{}={}".format(tier, tiers[tier]) for tier in sorted(tiers)
+        ) or "(no runs)"
+        lines.append("{:<12} {}".format(name, detail))
+    total = census_closed_form_total(census)
+    lines.append("closed-form runs total: {}".format(total))
+    return "\n".join(lines)
+
+
+def census_closed_form_total(census):
+    return sum(t.get("tier.closed_form", 0) for t in census.values())

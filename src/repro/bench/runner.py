@@ -36,6 +36,12 @@ the closed-form / vectorized / reference builders served each kernel
 pair, see ``docs/analysis.md``) are folded into the report's
 ``fastpath`` section whenever any fired, alongside the effective
 ``REPRO_FASTPATH`` mode.
+
+Simulation-engine tier counters (``engine.tier.*`` / ``engine.fallback.*``
+— which fast-engine tier served each model run and why the rest fell
+back to the scalar oracle, see ``docs/engine.md``) are folded into the
+report's ``engine`` section the same way, alongside the effective
+``REPRO_ENGINE`` mode.
 """
 
 import cProfile
@@ -55,6 +61,7 @@ from repro.experiments.common import (
     _model_plan_params,
     canonical_model_name,
 )
+from repro.models.fastengine import resolve_engine_mode
 from repro.obs import MetricsRegistry, Tracer
 from repro.obs.log import Heartbeat, get_logger
 from repro.obs.metrics import percentile
@@ -492,6 +499,19 @@ def run_suite(config, log=None, executor=None, status_file=None):
         payload["fastpath"] = {
             "mode": resolve_fastpath_mode(None),
             "counters": fastpath_counters,
+        }
+    engine_counters = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("engine.tier.")
+        or name.startswith("engine.fallback.")
+    }
+    if engine_counters:
+        # which simulation-engine tier served each run, and why runs
+        # fell back to the scalar reference (repro.models.fastengine)
+        payload["engine"] = {
+            "mode": resolve_engine_mode(None),
+            "counters": engine_counters,
         }
     return payload
 

@@ -17,6 +17,9 @@ chosen directory).  Shape::
       "fastpath": {                 # optional: graph-build tier census
         "mode": "auto", "counters": {"analysis.fastpath.closed_form": ...}
       },
+      "engine": {                   # optional: simulation-engine tier census
+        "mode": "auto", "counters": {"engine.tier.vectorized": ...}
+      },
       "workloads": {
         "<workload>": {
           "models": {
@@ -260,6 +263,22 @@ def validate_report(payload):
                     if not _is_number(value):
                         errors.append(
                             "fastpath.counters.{}: not a number".format(name)
+                        )
+    engine = payload.get("engine")
+    if engine is not None:  # optional: present when any tier counter fired
+        if not isinstance(engine, dict):
+            errors.append("engine: not an object")
+        else:
+            if not isinstance(engine.get("mode"), str):
+                errors.append("engine.mode: missing or not a string")
+            counters = engine.get("counters")
+            if not isinstance(counters, dict):
+                errors.append("engine.counters: missing or not an object")
+            else:
+                for name, value in counters.items():
+                    if not _is_number(value):
+                        errors.append(
+                            "engine.counters.{}: not a number".format(name)
                         )
     workloads = payload.get("workloads")
     if not isinstance(workloads, dict) or not workloads:

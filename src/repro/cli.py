@@ -47,13 +47,24 @@ Commands:
                                       microbench: reference vs tiered
                                       graph build (``--census`` for the
                                       per-workload tier breakdown)
+* ``bench engine``                  — simulation-engine fast-path
+                                      microbench: scalar event-queue
+                                      oracle vs tiered engine
+                                      (``--census`` for the per-workload
+                                      tier breakdown, ``docs/engine.md``)
 * ``fuzz [--count N] [--seed S]``   — differential fuzzing: seeded
                                       generator corpus, every
-                                      ``REPRO_FASTPATH`` mode vs the
-                                      scalar oracle, minimized repro
+                                      ``REPRO_FASTPATH`` mode and every
+                                      ``REPRO_ENGINE`` tier vs the
+                                      scalar oracles, minimized repro
                                       files on divergence; exit 1 on
                                       any divergence
                                       (``docs/fuzzing.md``)
+
+``run``, ``critpath``, and ``bench run`` accept ``--engine MODE`` to
+pin the simulation-engine tier (``auto`` | ``closed_form`` |
+``vectorized`` | ``reference``) for the invocation — equivalent to
+setting ``REPRO_ENGINE``, and inherited by worker processes.
 
 Model names accept the roster (``baseline``, ``ideal``, ``prelaunch``,
 ``producer``, ``consumer2``..``consumer4``) plus the ``blockmaestro``
@@ -87,6 +98,13 @@ from repro.workloads import UnknownWorkloadError, all_workloads, get_workload
 
 MODEL_NAMES = [m[0] for m in STANDARD_MODELS]
 MODEL_CHOICES = MODEL_NAMES + sorted(MODEL_ALIASES)
+
+#: ``--engine`` values: canonical modes plus the aliases
+#: :func:`repro.models.fastengine.resolve_engine_mode` accepts
+ENGINE_CHOICES = (
+    "auto", "closed_form", "vectorized", "reference",
+    "on", "off", "scalar", "oracle",
+)
 
 
 def cmd_list(args):
@@ -169,7 +187,25 @@ def _emit_json(payload, destination):
         print("wrote", destination)
 
 
+def _pin_engine_mode(value):
+    """Pin ``--engine MODE`` for this invocation via the environment.
+
+    The env var — not a call argument — is the conduit because the
+    memoized :meth:`ExperimentContext.run_model` path and forked bench
+    workers both resolve ``REPRO_ENGINE`` at run time; pinning the
+    environment reaches every run the command makes.
+    """
+    if value is None:
+        return
+    import os
+
+    from repro.models.fastengine import ENGINE_ENV, resolve_engine_mode
+
+    os.environ[ENGINE_ENV] = resolve_engine_mode(value)
+
+
 def cmd_run(args):
+    _pin_engine_mode(args.engine)
     app = get_workload(args.workload).build()
     ctx = ExperimentContext()
     ctx.register_app(app)
@@ -333,6 +369,10 @@ def cmd_blame(args):
 def cmd_critpath(args):
     from repro.obs import critpath as cp
 
+    # provenance attaches an observer, so a non-reference --engine pin
+    # falls back to the scalar oracle (counted, documented behavior);
+    # the pin is still honored so users can see exactly that.
+    _pin_engine_mode(args.engine)
     prov = cp.ProvenanceRecorder()
     _app, stats, tracer, _metrics, plan, model = _traced_run(
         args.workload, args.model, provenance=prov
@@ -485,6 +525,7 @@ def cmd_bench_run(args):
     from repro import bench
     from repro.analysis.cache import resolve_cache_dir
 
+    _pin_engine_mode(args.engine)
     cache_dir = resolve_cache_dir(
         cache_dir=args.cache_dir, enabled=bool(args.cache_dir or args.cache)
     )
@@ -547,6 +588,19 @@ def cmd_bench_run(args):
         print(
             "fastpath ({}): {}".format(
                 fastpath_section["mode"],
+                ", ".join(
+                    "{} {:.0f}".format(name[len(prefix):], counters[name])
+                    for name in sorted(counters)
+                ),
+            )
+        )
+    engine_section = payload.get("engine")
+    if engine_section:
+        counters = engine_section["counters"]
+        prefix = "engine."
+        print(
+            "engine ({}): {}".format(
+                engine_section["mode"],
                 ", ".join(
                     "{} {:.0f}".format(name[len(prefix):], counters[name])
                     for name in sorted(counters)
@@ -649,6 +703,63 @@ def cmd_bench_fastpath(args):
     return 0
 
 
+def cmd_bench_engine(args):
+    from repro.bench import engine as eng
+
+    if args.census:
+        census = eng.registry_engine_census()
+        print(eng.format_census(census))
+        if eng.census_closed_form_total(census) == 0:
+            print(
+                "error: closed-form tier fired on zero workloads",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    from repro.obs.log import get_logger
+
+    summary = eng.run_engine_bench(
+        args.out,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        jobs=args.jobs,
+        log=get_logger("bench").info,
+    )
+    rows = [
+        {"workload/model": key, "simulate_speedup": speedup}
+        for key, speedup in summary["simulate_speedups"].items()
+    ]
+    print(
+        format_table(
+            rows,
+            ["workload/model", "simulate_speedup"],
+            title="fast engine vs reference (simulate-phase p50, cold)",
+        )
+    )
+    counters = summary["counters"]
+    prefix = "engine."
+    print(
+        "tiers: {}".format(
+            ", ".join(
+                "{} {:.0f}".format(name[len(prefix):], counters[name])
+                for name in sorted(counters)
+            ) or "(none)"
+        )
+    )
+    print("wrote", summary["before"])
+    print("wrote", summary["after"])
+    print("wrote", summary["diff"])
+    if summary["drift"]:
+        print(
+            "error: simulated drift between reference and fast-engine "
+            "runs — the tiers must produce identical RunStats (see "
+            "{})".format(summary["diff"]),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench_trend(args):
     from repro import bench
     from repro.bench.trend import METRICS
@@ -671,6 +782,7 @@ def cmd_bench(args):
         "diff": cmd_bench_diff,
         "trend": cmd_bench_trend,
         "fastpath": cmd_bench_fastpath,
+        "engine": cmd_bench_engine,
     }[args.bench_command]
     return handler(args)
 
@@ -684,6 +796,7 @@ def cmd_fuzz(args):
             count=args.count,
             seed=args.seed,
             modes=args.modes,
+            engines=args.engines,
             model=args.model,
             jobs=args.jobs,
             out_dir=args.out,
@@ -770,6 +883,11 @@ def build_parser():
         "--tb-records",
         action="store_true",
         help="include per-thread-block records in --json output",
+    )
+    p_run.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="pin the simulation-engine tier for this run "
+             "(same as REPRO_ENGINE; default: auto)",
     )
 
     p_compare = sub.add_parser("compare", help="all models on one workload")
@@ -874,6 +992,11 @@ def build_parser():
         metavar="FILE",
         help="schema-validated critpath report to stdout (no FILE) or FILE",
     )
+    p_cp.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="pin the simulation-engine tier (provenance recording "
+             "forces the reference oracle; the fallback is counted)",
+    )
 
     p_journal = sub.add_parser(
         "journal",
@@ -970,6 +1093,12 @@ def build_parser():
         "--modes", nargs="+", default=None, metavar="MODE",
         help="fastpath modes to check against the reference oracle "
              "(default: closed_form vectorized auto)",
+    )
+    p_fuzz.add_argument(
+        "--engines", nargs="+", default=None, metavar="TIER",
+        help="engine tiers to check against the scalar oracle "
+             "(default: closed_form vectorized auto; 'none' disables "
+             "the engine sweep)",
     )
     p_fuzz.add_argument(
         "--model", choices=MODEL_CHOICES, default="consumer3"
@@ -1108,6 +1237,11 @@ def build_parser():
         help="atomically rewrite a JSON progress snapshot here after "
              "every suite cell (also $REPRO_STATUS_FILE)",
     )
+    b_run.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="pin the simulation-engine tier for every cell "
+             "(same as REPRO_ENGINE; inherited by --jobs workers)",
+    )
 
     b_diff = bench_sub.add_parser(
         "diff", help="compare two reports; non-zero exit on regression"
@@ -1153,6 +1287,30 @@ def build_parser():
         "--census", action="store_true",
         help="instead of benchmarking, print which tier serves each "
              "registry workload; exit 1 if closed-form never fires",
+    )
+
+    b_eng = bench_sub.add_parser(
+        "engine",
+        help="simulation-engine microbench: scalar event-queue oracle "
+             "vs tiered fast engine, before/after reports + DIFF "
+             "(docs/engine.md)",
+    )
+    b_eng.add_argument(
+        "--out", default="engine-bench", metavar="DIR",
+        help="output directory for the two reports and DIFF.txt "
+             "(default: engine-bench)",
+    )
+    b_eng.add_argument("--repeats", type=int, default=3, metavar="N")
+    b_eng.add_argument("--warmup", type=int, default=1, metavar="N")
+    b_eng.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per pass (default 1)",
+    )
+    b_eng.add_argument(
+        "--census", action="store_true",
+        help="instead of benchmarking, print which engine tier "
+             "simulates each workload under a jitter-free config; "
+             "exit 1 if closed-form never fires",
     )
 
     b_trend = bench_sub.add_parser(

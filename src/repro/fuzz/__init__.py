@@ -4,13 +4,15 @@
 
 * :func:`resolve_fuzz_config` / :func:`run_fuzz` — the corpus runner,
   fanning cases out over :class:`~repro.parallel.SuiteExecutor`;
-* :func:`check_case` — one case, every fastpath mode vs the scalar
-  oracle across graphs / signatures / journals / critpath / telemetry;
+* :func:`check_case` — one case, every fastpath mode and fast-engine
+  tier vs the scalar oracles across graphs / signatures / journals /
+  per-TB records / critpath / telemetry;
 * :func:`shrink_case` + the ``repro-fuzz-case`` file helpers — greedy
   minimization and replayable regression artifacts.
 """
 
 from repro.fuzz.runner import (
+    DEFAULT_ENGINES,
     DEFAULT_MODES,
     FUZZ_REPORT_KIND,
     FUZZ_REPORT_SCHEMA_VERSION,
@@ -35,6 +37,7 @@ from repro.fuzz.shrink import (
 )
 
 __all__ = [
+    "DEFAULT_ENGINES",
     "DEFAULT_MODES",
     "FUZZ_REPORT_KIND",
     "FUZZ_REPORT_SCHEMA_VERSION",

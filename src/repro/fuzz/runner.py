@@ -19,6 +19,14 @@ scalar ``reference`` oracle and once under every candidate
   consistency errors must stay within tolerance, both observation-only
   (neither pass may perturb the signature).
 
+Alongside the ``REPRO_FASTPATH`` sweep, every candidate
+``REPRO_ENGINE`` tier (:mod:`repro.models.fastengine`) is swept on the
+oracle plan — **engine** checks compare each tier's simulated
+signature *and* full per-thread-block records against the scalar
+event-queue engine, on the case's model and (when different) the
+always-eligible ``baseline`` model, observer-free so the fast tiers
+actually engage.
+
 Everything a case produces is deterministic — no wall clock, no
 hash-order dependence — so a per-case content digest and the corpus
 digest over all cases are reproducible across runs, worker counts and
@@ -37,6 +45,8 @@ FUZZ_REPORT_SCHEMA_VERSION = 1
 
 #: candidate tiers checked against the always-implicit reference oracle
 DEFAULT_MODES = ("closed_form", "vectorized", "auto")
+#: candidate engine tiers checked against the scalar event-queue oracle
+DEFAULT_ENGINES = ("closed_form", "vectorized", "auto")
 ORACLE_MODE = "reference"
 DEFAULT_MODEL = "consumer3"
 
@@ -48,24 +58,28 @@ class FuzzConfig:
     count: int = 50
     seed: int = 0
     modes: Tuple[str, ...] = DEFAULT_MODES
+    engines: Tuple[str, ...] = DEFAULT_ENGINES
     model: str = DEFAULT_MODEL
     jobs: int = 1
     out_dir: str = "."
     shrink: bool = True
 
 
-def resolve_fuzz_config(count=None, seed=None, modes=None, model=None,
-                        jobs=None, out_dir=None, shrink=True):
+def resolve_fuzz_config(count=None, seed=None, modes=None, engines=None,
+                        model=None, jobs=None, out_dir=None, shrink=True):
     """Fold CLI-ish arguments into a :class:`FuzzConfig`.
 
-    Raises ``ValueError`` on bad counts/seeds/modes and
+    Raises ``ValueError`` on bad counts/seeds/modes/engines and
     :class:`~repro.experiments.common.UnknownModelError` on bad model
     names, so the CLI fails with exit code 2 before any work is done.
-    ``reference`` in ``modes`` is redundant (it is the oracle every mode
-    is checked against) and is dropped.
+    ``reference`` in ``modes``/``engines`` is redundant (it is the
+    oracle every tier is checked against) and is dropped; unlike
+    ``modes``, ``engines`` may resolve to nothing (``--engines none``)
+    to skip the engine sweep entirely.
     """
     from repro.analysis.fastpath import resolve_fastpath_mode
     from repro.experiments.common import _model_plan_params, canonical_model_name
+    from repro.models.fastengine import resolve_engine_mode
 
     count = 50 if count is None else int(count)
     if count < 1:
@@ -83,10 +97,18 @@ def resolve_fuzz_config(count=None, seed=None, modes=None, model=None,
         raise ValueError(
             "--modes needs at least one non-reference fastpath mode"
         )
+    resolved_engines = []
+    engine_args = engines if engines is not None else DEFAULT_ENGINES
+    if list(engine_args) != ["none"]:
+        for tier in engine_args:
+            tier = resolve_engine_mode(tier)  # ValueError on unknown names
+            if tier != ORACLE_MODE and tier not in resolved_engines:
+                resolved_engines.append(tier)
     model = canonical_model_name(model or DEFAULT_MODEL)
     _model_plan_params(model)  # raises UnknownModelError
     return FuzzConfig(
-        count=count, seed=seed, modes=tuple(resolved), model=model,
+        count=count, seed=seed, modes=tuple(resolved),
+        engines=tuple(resolved_engines), model=model,
         jobs=jobs, out_dir=out_dir or ".", shrink=bool(shrink),
     )
 
@@ -122,14 +144,17 @@ def _canonical_digest(payload):
     return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def check_case(spec, modes=DEFAULT_MODES, model=DEFAULT_MODEL):
+def check_case(spec, modes=DEFAULT_MODES, model=DEFAULT_MODEL,
+               engines=DEFAULT_ENGINES):
     """Run one fuzz case under every mode; return the case record.
 
     The record carries the case's deterministic content ``digest``
     (spec + oracle graphs + signature + journal digest) and a possibly
     empty ``divergences`` list.  ``modes`` may be empty to run only the
     oracle self-checks (the shrinker uses that for critpath/telemetry
-    divergences).
+    divergences); ``engines`` may be empty to skip the engine-tier
+    sweep.  The digest deliberately covers only oracle surfaces, so it
+    is independent of which candidate modes/engines were swept.
     """
     # Imported lazily: the engine/obs modules must not load at
     # repro.fuzz import time (journal/critpath stay out of
@@ -218,6 +243,9 @@ def check_case(spec, modes=DEFAULT_MODES, model=DEFAULT_MODEL):
             ))
 
     divergences.extend(
+        _engine_sweep(ref_plan, model_name, ref_engine.gpu_config, engines)
+    )
+    divergences.extend(
         _oracle_self_checks(ref_plan, ref_signature, model_name, ref_engine)
     )
 
@@ -234,6 +262,60 @@ def check_case(spec, modes=DEFAULT_MODES, model=DEFAULT_MODEL):
         }),
         "divergences": divergences,
     }
+
+
+def _tb_tuple(stats):
+    """Ordered per-TB lifecycle tuple — the strongest equality surface."""
+    return tuple(
+        (r.kernel_index, r.tb_id, r.ready_ns, r.start_ns, r.finish_ns, r.sm)
+        for r in stats.tb_records
+    )
+
+
+def _engine_sweep(ref_plan, model_name, gpu_config, engines):
+    """Check every engine tier against the scalar oracle on one plan.
+
+    Observer-free on purpose: journal/provenance/telemetry hooks make
+    the fast engine fall back to the reference path, which would turn
+    the sweep into reference-vs-reference.  The case's model is swept
+    plus — when it differs — ``baseline``, whose coarse dependency
+    options keep every plan fast-engine eligible, so the tiers engage
+    even when the case model's fine-grain plan declines.
+    """
+    from repro.experiments.common import _make_model
+
+    divergences = []
+    if not engines:
+        return divergences
+    sweep_models = [model_name]
+    if "baseline" not in sweep_models:
+        sweep_models.append("baseline")
+    for sweep_model in sweep_models:
+        engine_model = _make_model(sweep_model, gpu_config)
+        oracle = engine_model.run(ref_plan, engine=ORACLE_MODE)
+        oracle_signature = oracle.simulated_signature()
+        oracle_tbs = _tb_tuple(oracle)
+        for tier in engines:
+            stats = engine_model.run(ref_plan, engine=tier)
+            signature = stats.simulated_signature()
+            if signature != oracle_signature:
+                changed = sorted(
+                    key for key in set(signature) | set(oracle_signature)
+                    if signature.get(key) != oracle_signature.get(key)
+                )
+                divergences.append(_divergence(
+                    "engine", tier, model=sweep_model,
+                    detail="signature fields differ: {}".format(
+                        ", ".join(changed)
+                    ),
+                ))
+                continue
+            if _tb_tuple(stats) != oracle_tbs:
+                divergences.append(_divergence(
+                    "engine", tier, model=sweep_model,
+                    detail="per-TB records differ from the scalar oracle",
+                ))
+    return divergences
 
 
 def _oracle_self_checks(ref_plan, ref_signature, model_name, ref_engine):
@@ -280,8 +362,10 @@ def _oracle_self_checks(ref_plan, ref_signature, model_name, ref_engine):
 
 def _case_worker(item):
     """SuiteExecutor worker: module-level so fork/pickle dispatch works."""
-    seed, modes, model = item
-    return check_case(FuzzSpec.from_seed(seed), modes=modes, model=model)
+    seed, modes, engines, model = item
+    return check_case(
+        FuzzSpec.from_seed(seed), modes=modes, model=model, engines=engines
+    )
 
 
 def corpus_digest(cases):
@@ -305,13 +389,15 @@ def run_fuzz(config, log=None):
 
     say = log or (lambda *_args, **_kwargs: None)
     items = [
-        (config.seed + i, config.modes, config.model)
+        (config.seed + i, config.modes, config.engines, config.model)
         for i in range(config.count)
     ]
-    say("fuzz: {} cases (seeds {}..{}), modes {}, model {}, {} job(s)".format(
-        config.count, config.seed, config.seed + config.count - 1,
-        "/".join(config.modes), config.model, config.jobs,
-    ))
+    say("fuzz: {} cases (seeds {}..{}), modes {}, engines {}, model {}, "
+        "{} job(s)".format(
+            config.count, config.seed, config.seed + config.count - 1,
+            "/".join(config.modes), "/".join(config.engines) or "none",
+            config.model, config.jobs,
+        ))
     executor = SuiteExecutor(jobs=config.jobs, log=log)
     cases = executor.map(_case_worker, items)
 
@@ -333,12 +419,13 @@ def run_fuzz(config, log=None):
                 case["seed"], target["check"], target["mode"]
             ))
             minimized, final_divs = shrink_case(
-                spec, target, modes=config.modes, model=config.model,
+                spec, target, modes=config.modes, engines=config.engines,
+                model=config.model,
             )
             repro = make_case(
                 minimized, final_divs or case["divergences"],
                 modes=config.modes, model=config.model,
-                source_seed=case["seed"],
+                source_seed=case["seed"], engines=config.engines,
             )
             path = write_case(repro, directory=config.out_dir)
             repro_files.append(path)
@@ -352,6 +439,7 @@ def run_fuzz(config, log=None):
         "seed": config.seed,
         "count": config.count,
         "modes": list(config.modes),
+        "engines": list(config.engines),
         "model": config.model,
         "cases": [
             {
@@ -410,7 +498,7 @@ def validate_fuzz_report(report):
     expected = corpus_digest(cases) if not errors else None
     if expected is not None and report.get("corpus_digest") != expected:
         errors.append("corpus_digest: does not match the cases")
-    for key in ("divergences", "repro_files", "modes"):
+    for key in ("divergences", "repro_files", "modes", "engines"):
         if not isinstance(report.get(key), list):
             errors.append("{}: missing or not a list".format(key))
     return errors
@@ -427,6 +515,10 @@ def format_fuzz(report, limit=10):
     )
     lines.append("modes       : {} (vs {} oracle)".format(
         ", ".join(report["modes"]), ORACLE_MODE
+    ))
+    lines.append("engines     : {} (vs {} oracle)".format(
+        ", ".join(report.get("engines", [])) or "(sweep disabled)",
+        ORACLE_MODE,
     ))
     lines.append("model       : {}".format(report["model"]))
     lines.append("corpus      : {}".format(report["corpus_digest"]))

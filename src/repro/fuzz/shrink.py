@@ -86,7 +86,7 @@ def _simplified(kernel):
     return None if plain == kernel else plain
 
 
-def shrink_case(spec, target, modes=(), model="consumer3",
+def shrink_case(spec, target, modes=(), engines=(), model="consumer3",
                 max_attempts=MAX_SHRINK_ATTEMPTS, log=None):
     """Greedily minimize ``spec`` while ``target`` still reproduces.
 
@@ -95,16 +95,29 @@ def shrink_case(spec, target, modes=(), model="consumer3",
     describe the *minimal* reproduction, not the original).
     """
     say = log or (lambda *_args, **_kwargs: None)
-    # graph/signature/journal divergences only need the offending mode;
+    # graph/signature/journal divergences only need the offending
+    # fastpath mode, engine divergences only the offending engine tier;
     # critpath/telemetry divergences come from the oracle self-checks,
     # which run even with no candidate modes at all
-    mode_subset = (target["mode"],) if target["mode"] in modes else ()
+    is_engine = target["check"] == "engine"
+    mode_subset = (
+        (target["mode"],) if not is_engine and target["mode"] in modes
+        else ()
+    )
+    engine_subset = (
+        (target["mode"],) if is_engine and target["mode"] in engines
+        else ()
+    )
     attempts = [0]
 
     def reproduction(candidate):
         attempts[0] += 1
         return _matching(
-            check_case(candidate, modes=mode_subset, model=model), target
+            check_case(
+                candidate, modes=mode_subset, model=model,
+                engines=engine_subset,
+            ),
+            target,
         )
 
     if not reproduction(spec):
@@ -160,13 +173,14 @@ def shrink_case(spec, target, modes=(), model="consumer3",
 # ----------------------------------------------------------------------
 # repro-fuzz-case files
 # ----------------------------------------------------------------------
-def make_case(spec, divergences, modes, model, source_seed):
+def make_case(spec, divergences, modes, model, source_seed, engines=()):
     """Assemble the schema-versioned minimized-repro payload."""
     return {
         "kind": CASE_KIND,
         "schema_version": CASE_SCHEMA_VERSION,
         "source_seed": int(source_seed),
         "modes": list(modes),
+        "engines": list(engines),
         "model": model,
         "spec": spec.to_dict(),
         "divergences": list(divergences),
@@ -188,6 +202,10 @@ def validate_case(case):
         errors.append("source_seed: missing")
     if not isinstance(case.get("modes"), list):
         errors.append("modes: missing or not a list")
+    # "engines" is optional: case files predating the engine sweep
+    # (schema additions are backward compatible) simply omit it
+    if "engines" in case and not isinstance(case["engines"], list):
+        errors.append("engines: not a list")
     if not isinstance(case.get("model"), str):
         errors.append("model: missing")
     if not isinstance(case.get("divergences"), list):
@@ -242,6 +260,7 @@ def replay_case(case):
     """
     spec = FuzzSpec.from_dict(case["spec"])
     result = check_case(
-        spec, modes=tuple(case["modes"]), model=case["model"]
+        spec, modes=tuple(case["modes"]), model=case["model"],
+        engines=tuple(case.get("engines", ())),
     )
     return result["divergences"]

@@ -124,7 +124,7 @@ class ExecutionModel:
 
     def run(
         self, plan: RuntimePlan, tracer=None, metrics=None, provenance=None,
-        journal=None, telemetry=None,
+        journal=None, telemetry=None, engine=None,
     ) -> RunStats:
         """Simulate ``plan``; pass a tracer/metrics registry to observe.
 
@@ -139,17 +139,44 @@ class ExecutionModel:
         feeds it the same event stream for occupancy/overlap analysis.
         Instrumentation is observation only — results are identical
         whether or not a tracer or recorder is attached.
+
+        ``engine`` selects the simulation tier
+        (:func:`repro.models.fastengine.resolve_engine_mode`; ``None``
+        reads ``REPRO_ENGINE``, default ``auto``).  Fast tiers produce
+        bit-identical :class:`RunStats`; any run carrying a
+        provenance/journal/telemetry observer silently uses the scalar
+        reference engine, since observers hook per-event injection
+        points the batched tiers skip.
         """
+        # imported lazily: repro.models.fastengine builds on this module
+        from repro.models import fastengine
+
         tracer = resolve_tracer(tracer)
         metrics = resolve_metrics(metrics)
         options = self.options()
+        mode = fastengine.resolve_engine_mode(engine)
         with tracer.span(
             "model:{}".format(options.name),
             cat="model",
             pid=PID_RUNTIME,
             args={"application": plan.application},
         ):
-            engine = ExecutionEngine(
+            if mode != "reference":
+                if (
+                    provenance is not None
+                    or journal is not None
+                    or telemetry is not None
+                ):
+                    metrics.inc("engine.fallback.observers")
+                else:
+                    stats = fastengine.run_fast(
+                        plan, self.gpu_config, options, mode, tracer,
+                        metrics,
+                    )
+                    if stats is not None:
+                        return stats
+            metrics.inc("engine.tier.reference")
+            reference = ExecutionEngine(
                 plan,
                 self.gpu_config,
                 options,
@@ -159,7 +186,7 @@ class ExecutionModel:
                 journal=journal,
                 telemetry=telemetry,
             )
-            return engine.run()
+            return reference.run()
 
 
 # ----------------------------------------------------------------------
@@ -385,87 +412,18 @@ class ExecutionEngine:
     # records, so tracing can never perturb simulated behaviour)
     # ------------------------------------------------------------------
     def _emit_trace(self, stats: RunStats):
-        tracer = self.tracer
-        if not tracer.enabled:
-            return
-        # host command queue: one span per API call, enqueue → complete
-        for position, call in enumerate(self.plan.order):
-            tracer.name_thread(
-                PID_HOST, call.stream_id, "stream {}".format(call.stream_id)
-            )
-            tracer.sim_span(
-                call.trace_name,
-                self.call_enqueued_ns[position],
-                self.call_done_ns[position],
-                cat="host.queue",
-                pid=PID_HOST,
-                tid=call.stream_id,
-                args=call.trace_args(),
-            )
-        # kernel lifecycle phases: one thread row per kernel so phases of
-        # concurrently in-flight kernels never collide
-        for kr in stats.kernel_records:
-            tid = kr.index
-            tracer.name_thread(
-                PID_DEVICE, tid, "k{:02d} {} (s{})".format(kr.index, kr.name, kr.stream)
-            )
-            info = {"kernel": kr.name, "index": kr.index, "stream": kr.stream}
-            if kr.launch_begin_ns > kr.queued_ns:
-                tracer.sim_span(
-                    "queued", kr.queued_ns, kr.launch_begin_ns,
-                    cat="kernel.queued", pid=PID_DEVICE, tid=tid, args=info,
-                )
-            tracer.sim_span(
-                "launch", kr.launch_begin_ns, kr.resident_ns,
-                cat="kernel.launch", pid=PID_DEVICE, tid=tid, args=info,
-            )
-            first = kr.first_tb_start_ns or kr.resident_ns
-            if first > kr.resident_ns:
-                tracer.sim_span(
-                    "stall", kr.resident_ns, first,
-                    cat="kernel.stall", pid=PID_DEVICE, tid=tid, args=info,
-                )
-            tracer.sim_span(
-                "exec", first, kr.all_tbs_done_ns,
-                cat="kernel.exec", pid=PID_DEVICE, tid=tid,
-                args=dict(info, num_tbs=kr.num_tbs),
-            )
-            tracer.instant(
-                "complete", ts_us=kr.completed_ns / 1e3,
-                cat="kernel.complete", pid=PID_DEVICE, tid=tid, args=info,
-            )
-        # per-TB lifecycle on SM rows; async events because blocks of
-        # several kernels overlap on one SM
-        for tb in stats.tb_records:
-            tracer.name_thread(PID_SM, tb.sm, "SM {:02d}".format(tb.sm))
-            event_id = "k{}.tb{}".format(tb.kernel_index, tb.tb_id)
-            name = "k{}/tb{}".format(tb.kernel_index, tb.tb_id)
-            tracer.async_begin(
-                name, tb.start_ns / 1e3, event_id,
-                cat="tb", pid=PID_SM, tid=tb.sm,
-                args={
-                    "kernel": tb.kernel_index,
-                    "tb": tb.tb_id,
-                    "ready_ns": tb.ready_ns,
-                    "stall_ns": tb.stall_ns,
-                },
-            )
-            tracer.async_end(name, tb.finish_ns / 1e3, event_id, cat="tb",
-                             pid=PID_SM, tid=tb.sm)
+        emit_engine_trace(
+            self.tracer, self.plan, self.call_enqueued_ns,
+            self.call_done_ns, stats,
+        )
 
     def _record_metrics(self, stats: RunStats):
-        m = self.metrics
-        if not m.enabled:
-            return
-        m.set_gauge("engine.makespan_ns", stats.makespan_ns)
-        m.set_gauge("engine.avg_tb_concurrency", stats.avg_tb_concurrency())
-        m.set_gauge("engine.events_processed", self.events.processed)
-        m.set_gauge("engine.peak_pending_events", self.events.peak_pending)
-        for name, value in self.counters.items():
-            m.set_gauge("engine.{}".format(name), value)
-        for tb in stats.tb_records:
-            m.observe("engine.tb_stall_ns", tb.stall_ns)
-            m.observe("engine.tb_duration_ns", tb.duration_ns)
+        record_engine_metrics(
+            self.metrics, stats,
+            events_processed=self.events.processed,
+            peak_pending=self.events.peak_pending,
+            counters=self.counters,
+        )
 
     def _check_all_complete(self):
         pending_calls = [p for p, done in enumerate(self.call_done) if not done]
@@ -1063,3 +1021,94 @@ class ExecutionEngine:
                     self._refresh_ready(other.plan.kernel_index)
             idx = ks.plan.chain_next
         self._pump()
+
+
+# ----------------------------------------------------------------------
+# shared observability emitters (pure observation, derived from the
+# finished run's records — used by both the scalar engine above and the
+# batched tiers in repro.models.fastengine, so trace and metrics output
+# is identical whichever engine produced the stats)
+# ----------------------------------------------------------------------
+def emit_engine_trace(tracer, plan, call_enqueued_ns, call_done_ns, stats):
+    if not tracer.enabled:
+        return
+    # host command queue: one span per API call, enqueue → complete
+    for position, call in enumerate(plan.order):
+        tracer.name_thread(
+            PID_HOST, call.stream_id, "stream {}".format(call.stream_id)
+        )
+        tracer.sim_span(
+            call.trace_name,
+            call_enqueued_ns[position],
+            call_done_ns[position],
+            cat="host.queue",
+            pid=PID_HOST,
+            tid=call.stream_id,
+            args=call.trace_args(),
+        )
+    # kernel lifecycle phases: one thread row per kernel so phases of
+    # concurrently in-flight kernels never collide
+    for kr in stats.kernel_records:
+        tid = kr.index
+        tracer.name_thread(
+            PID_DEVICE, tid, "k{:02d} {} (s{})".format(kr.index, kr.name, kr.stream)
+        )
+        info = {"kernel": kr.name, "index": kr.index, "stream": kr.stream}
+        if kr.launch_begin_ns > kr.queued_ns:
+            tracer.sim_span(
+                "queued", kr.queued_ns, kr.launch_begin_ns,
+                cat="kernel.queued", pid=PID_DEVICE, tid=tid, args=info,
+            )
+        tracer.sim_span(
+            "launch", kr.launch_begin_ns, kr.resident_ns,
+            cat="kernel.launch", pid=PID_DEVICE, tid=tid, args=info,
+        )
+        first = kr.first_tb_start_ns or kr.resident_ns
+        if first > kr.resident_ns:
+            tracer.sim_span(
+                "stall", kr.resident_ns, first,
+                cat="kernel.stall", pid=PID_DEVICE, tid=tid, args=info,
+            )
+        tracer.sim_span(
+            "exec", first, kr.all_tbs_done_ns,
+            cat="kernel.exec", pid=PID_DEVICE, tid=tid,
+            args=dict(info, num_tbs=kr.num_tbs),
+        )
+        tracer.instant(
+            "complete", ts_us=kr.completed_ns / 1e3,
+            cat="kernel.complete", pid=PID_DEVICE, tid=tid, args=info,
+        )
+    # per-TB lifecycle on SM rows; async events because blocks of
+    # several kernels overlap on one SM
+    for tb in stats.tb_records:
+        tracer.name_thread(PID_SM, tb.sm, "SM {:02d}".format(tb.sm))
+        event_id = "k{}.tb{}".format(tb.kernel_index, tb.tb_id)
+        name = "k{}/tb{}".format(tb.kernel_index, tb.tb_id)
+        tracer.async_begin(
+            name, tb.start_ns / 1e3, event_id,
+            cat="tb", pid=PID_SM, tid=tb.sm,
+            args={
+                "kernel": tb.kernel_index,
+                "tb": tb.tb_id,
+                "ready_ns": tb.ready_ns,
+                "stall_ns": tb.stall_ns,
+            },
+        )
+        tracer.async_end(name, tb.finish_ns / 1e3, event_id, cat="tb",
+                         pid=PID_SM, tid=tb.sm)
+
+
+def record_engine_metrics(metrics, stats, events_processed, peak_pending,
+                          counters):
+    m = metrics
+    if not m.enabled:
+        return
+    m.set_gauge("engine.makespan_ns", stats.makespan_ns)
+    m.set_gauge("engine.avg_tb_concurrency", stats.avg_tb_concurrency())
+    m.set_gauge("engine.events_processed", events_processed)
+    m.set_gauge("engine.peak_pending_events", peak_pending)
+    for name, value in counters.items():
+        m.set_gauge("engine.{}".format(name), value)
+    for tb in stats.tb_records:
+        m.observe("engine.tb_stall_ns", tb.stall_ns)
+        m.observe("engine.tb_duration_ns", tb.duration_ns)

@@ -32,6 +32,23 @@ class SMState:
         return self.resident_threads + threads_per_tb <= config.max_threads_per_sm
 
 
+def empty_device_slots(config: GPUConfig, threads_per_tb: int) -> int:
+    """Blocks of the given size an *idle* device holds.
+
+    Equals ``Device.free_slots`` on a freshly constructed device (every
+    SM contributes the same ``min`` of its block cap and thread budget).
+    This is the wave width of the fast engine tiers
+    (:mod:`repro.models.fastengine`): under a device-serial plan each
+    kernel starts on an empty device, so its TBs run in waves of exactly
+    this many slots.
+    """
+    per_sm = min(
+        config.max_tbs_per_sm,
+        config.max_threads_per_sm // max(1, threads_per_tb),
+    )
+    return config.num_sms * max(0, per_sm)
+
+
 class Device:
     """Occupancy bookkeeping plus the running-TB concurrency integral.
 

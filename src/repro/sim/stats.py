@@ -148,6 +148,12 @@ class RunStats:
         on the same workload must agree on every one of these values
         bit-for-bit — ``repro bench diff`` enforces that with zero
         tolerance.  Keep this free of anything wall-clock dependent.
+
+        This dict (together with the ordered ``tb_records``) is also the
+        differential contract for the engine fast tiers: every
+        :mod:`repro.models.fastengine` tier must reproduce it exactly
+        against the scalar oracle, so any field added here is
+        automatically covered by the engine gate and the fuzz sweep.
         """
         q1, median, q3 = self.stall_quartiles()
         return {

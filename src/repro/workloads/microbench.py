@@ -16,6 +16,13 @@ reference builder and are deliberately *hidden*: resolvable by name
 through :func:`repro.workloads.get_workload`, but absent from
 ``all_workloads()`` / ``--filter`` so the paper's Table-II suites stay
 exactly the paper's.
+
+The ``fast-engine`` microbench workloads (:func:`engine_specs`) are the
+simulation-phase mirror image: long kernel chains whose dependency
+analysis is closed-form cheap but whose thread-block population makes
+the scalar event loop the dominant cost — the measurement bed for the
+:mod:`repro.models.fastengine` tiers (``repro bench engine``).  They
+are hidden for the same reason.
 """
 
 from repro.workloads import ptxgen
@@ -203,6 +210,108 @@ def build_fastpath_ngroup(num_tbs=8192, degree=16, intensity=4.0):
     declines and this lands in the vectorized tier."""
     return build_vecadd_pair(
         num_tbs=num_tbs, degree=degree, intensity=intensity
+    )
+
+
+# ----------------------------------------------------------------------
+# fast-engine microbench workloads (hidden registry extras)
+# ----------------------------------------------------------------------
+def build_engine_chain(num_kernels=12, num_tbs=4096, intensity=4.0):
+    """A long 1-to-1 map chain over ping-pong buffers.
+
+    Dependency analysis collapses every hop to the closed-form Table-I
+    diagonal, but the scalar engine still pays ``num_kernels * num_tbs``
+    per-block event lifecycles — exactly the cost the fast engine tiers
+    remove.
+    """
+    b = AppBuilder("eng-chain-k{}-n{}".format(num_kernels, num_tbs))
+    elems = num_tbs * _THREADS
+    x = b.alloc("X", elems * _ELEM)
+    bufs = [b.alloc("T{}".format(i), elems * _ELEM) for i in range(2)]
+    out = b.alloc("OUTBUF", elems * _ELEM)
+    b.h2d(x)
+    src = x
+    for i in range(num_kernels):
+        dst = out if i == num_kernels - 1 else bufs[i % 2]
+        kernel = ptxgen.elementwise(
+            "eng_map{}".format(i), num_inputs=1, alu=2
+        )
+        b.launch(
+            kernel, grid=num_tbs, block=_THREADS,
+            args={"IN0": src, "OUT": dst}, intensity=intensity,
+            tag="map{}".format(i),
+        )
+        src = dst
+    b.d2h(out)
+    return b.build(num_kernels=num_kernels, num_tbs=num_tbs)
+
+
+def build_engine_wide(num_tbs=65536, intensity=4.0):
+    """One producer/consumer map pair with a very wide grid: the wave
+    count per kernel is large, so per-event heap traffic — not launch
+    bookkeeping — dominates the scalar simulate phase."""
+    return _fastpath_map(
+        num_tbs, consumer_name="eng_wide_map", intensity=intensity
+    )
+
+
+def build_engine_fc(num_kernels=6, num_tbs=512, intensity=4.0):
+    """A chain of full-buffer readers: every hop is fully connected, so
+    fine-grain models gate children on the whole parent kernel and the
+    fast tiers cover the entire roster on this workload."""
+    b = AppBuilder("eng-fc-k{}-n{}".format(num_kernels, num_tbs))
+    elems = num_tbs * _THREADS
+    x = b.alloc("X", elems * _ELEM)
+    bufs = [b.alloc("T{}".format(i), elems * _ELEM) for i in range(2)]
+    out = b.alloc("OUTBUF", elems * _ELEM)
+    b.h2d(x)
+    first = ptxgen.elementwise("eng_fc_produce", num_inputs=1, alu=2)
+    b.launch(
+        first, grid=num_tbs, block=_THREADS,
+        args={"IN0": x, "OUT": bufs[0]}, intensity=intensity,
+        tag="producer",
+    )
+    src = bufs[0]
+    for i in range(1, num_kernels):
+        dst = out if i == num_kernels - 1 else bufs[i % 2]
+        kernel = ptxgen.full_read_map("eng_fc{}".format(i), alu=2)
+        b.launch(
+            kernel, grid=num_tbs, block=_THREADS,
+            args={
+                "IN": src, "OUT": dst,
+                "SPAN": elems, "INOFF": 0, "OUTOFF": 0,
+            },
+            intensity=intensity,
+            tag="fc{}".format(i),
+        )
+        src = dst
+    b.d2h(out)
+    return b.build(num_kernels=num_kernels, num_tbs=num_tbs)
+
+
+def engine_specs():
+    """Hidden :class:`~repro.workloads.registry.WorkloadSpec` rows for
+    the ``fast-engine`` microbench suite (``repro bench engine``):
+    simulation-heavy chains where the simulate phase dominates a cold
+    pass, so the :mod:`repro.models.fastengine` tiers carry the win."""
+    from repro.workloads.registry import WorkloadSpec
+
+    return (
+        WorkloadSpec(
+            "eng-chain", "engine microbench: long 1-to-1 map chain",
+            "fast-engine", 12, (2,), build_engine_chain,
+            small_overrides={"num_kernels": 4, "num_tbs": 256},
+        ),
+        WorkloadSpec(
+            "eng-wide", "engine microbench: very wide map pair",
+            "fast-engine", 2, (2,), build_engine_wide,
+            small_overrides={"num_tbs": 512},
+        ),
+        WorkloadSpec(
+            "eng-fc", "engine microbench: fully connected hop chain",
+            "fast-engine", 6, (1,), build_engine_fc,
+            small_overrides={"num_kernels": 3, "num_tbs": 64},
+        ),
     )
 
 

@@ -147,10 +147,11 @@ def _extra_specs():
         # Imported lazily: microbench imports ptxgen/base, which are
         # cheap, but keeping it out of module import also avoids any
         # future cycle through the registry.
-        from repro.workloads.microbench import fastpath_specs
+        from repro.workloads.microbench import engine_specs, fastpath_specs
         from repro.workloads.rodinia import build_backprop
 
         _EXTRAS = {spec.name: spec for spec in fastpath_specs()}
+        _EXTRAS.update({spec.name: spec for spec in engine_specs()})
         # Rodinia's backprop is the paper's running example (Fig. 1)
         # but not a Table II row, so it resolves by name without
         # joining the default suite.

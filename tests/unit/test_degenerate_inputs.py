@@ -1,9 +1,18 @@
-"""Degenerate-input behavior of timelines and percentile helpers.
+"""Degenerate-input behavior of timelines, percentiles, and the engine.
 
 Empty runs, single samples, and all-equal distributions are exactly the
 inputs that show up when a workload is filtered down to nothing or a
 kernel has one thread block — none of them may crash or divide by zero.
+The engine fast tiers (:mod:`repro.models.fastengine`) must treat the
+same degenerate plans exactly like the scalar oracle: empty plans and
+single-TB kernels simulate identically under every tier, and zero-TB
+kernels decline to the reference so its behavior (including errors) is
+preserved verbatim.
 """
+
+import json
+
+import pytest
 
 from repro.obs.metrics import Histogram, percentile
 from repro.sim.stats import KernelRecord, RunStats, TBRecord
@@ -12,6 +21,8 @@ from repro.sim.timeline import (
     render_concurrency_profile,
     render_kernel_timeline,
 )
+
+ENGINE_MODES = ("reference", "closed_form", "vectorized", "auto")
 
 
 def _empty_stats():
@@ -93,3 +104,80 @@ class TestHistogram:
         stats = _empty_stats()
         assert stats.stall_quartiles() == (0.0, 0.0, 0.0)
         assert stats.avg_tb_concurrency() == 0.0
+
+
+# ----------------------------------------------------------------------
+# engine fast tiers on degenerate plans
+# ----------------------------------------------------------------------
+def _outcome(model, plan, engine):
+    """Simulated surface, or the raised exception, per engine tier."""
+    try:
+        stats = model.run(plan, engine=engine)
+    except Exception as exc:  # compared across tiers below
+        return ("raised", type(exc).__name__, str(exc))
+    return (
+        "stats",
+        json.dumps(stats.simulated_signature(), sort_keys=True),
+        tuple(
+            (r.kernel_index, r.tb_id, r.ready_ns, r.start_ns,
+             r.finish_ns, r.sm)
+            for r in stats.tb_records
+        ),
+    )
+
+
+class TestEngineDegeneratePlans:
+    @pytest.fixture()
+    def baseline(self):
+        from repro.core.runtime import BlockMaestroRuntime
+        from repro.experiments.common import _make_model
+
+        runtime = BlockMaestroRuntime()
+        return runtime, _make_model("baseline", runtime.config)
+
+    def test_plan_without_kernels(self, baseline):
+        """Malloc/copy-only plans: every tier agrees with the oracle."""
+        from repro.workloads.base import AppBuilder
+
+        runtime, model = baseline
+        b = AppBuilder("no-kernels")
+        x = b.alloc("X", 4096)
+        b.h2d(x)
+        b.d2h(x)
+        plan = runtime.plan(b.build())
+        outcomes = {
+            mode: _outcome(model, plan, mode) for mode in ENGINE_MODES
+        }
+        assert len(set(outcomes.values())) == 1, outcomes
+        assert outcomes["reference"][0] == "stats"
+
+    def test_single_tb_single_wave_kernel(self, baseline):
+        """One block, one wave: wave arithmetic at its smallest."""
+        from repro.workloads import get_workload
+
+        runtime, model = baseline
+        app = get_workload("eng-chain").build_small(
+            num_kernels=1, num_tbs=1
+        )
+        plan = runtime.plan(app)
+        outcomes = {
+            mode: _outcome(model, plan, mode) for mode in ENGINE_MODES
+        }
+        assert len(set(outcomes.values())) == 1, outcomes
+        assert outcomes["reference"][0] == "stats"
+
+    def test_zero_tb_kernel_keeps_reference_behavior(self, baseline):
+        """A zero-block launch declines to the oracle, so whatever the
+        reference does (stats or error) is preserved bit-for-bit."""
+        from repro.workloads import get_workload
+
+        runtime, model = baseline
+        app = get_workload("eng-chain").build_small(
+            num_kernels=2, num_tbs=4
+        )
+        plan = runtime.plan(app)
+        plan.kernels[0].call.grid = (0, 1, 1)  # num_tbs derives from grid
+        outcomes = {
+            mode: _outcome(model, plan, mode) for mode in ENGINE_MODES
+        }
+        assert len(set(outcomes.values())) == 1, outcomes
