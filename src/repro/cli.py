@@ -52,6 +52,22 @@ Commands:
                                       oracle vs tiered engine
                                       (``--census`` for the per-workload
                                       tier breakdown, ``docs/engine.md``)
+* ``serve [--host H --port P]``     — long-running simulation daemon:
+                                      the run/compare/critpath/
+                                      telemetry/bench pipelines over
+                                      HTTP/JSON with warm state,
+                                      request coalescing, ``/metrics``,
+                                      ``/healthz``, ``/statusz``,
+                                      ``/events`` (``docs/serving.md``)
+* ``client <cmd> [--url URL]``      — thin client for the daemon:
+                                      ``run``/``compare``/``critpath``/
+                                      ``telemetry``/``bench`` plus
+                                      ``health``/``status``/``version``/
+                                      ``metrics``/``events``/``shutdown``
+* ``bench serve``                   — daemon load test: latency
+                                      quantiles, RPS, coalescing under
+                                      a concurrent burst, CLI
+                                      cold-start baseline
 * ``fuzz [--count N] [--seed S]``   — differential fuzzing: seeded
                                       generator corpus, every
                                       ``REPRO_FASTPATH`` mode and every
@@ -75,6 +91,11 @@ workload or model names exit with code 2 and a one-line message.
 fan independent work out over worker processes; ``bench run`` also
 accepts ``--cache`` / ``--cache-dir DIR`` to persist launch-time
 analysis across runs.  See ``docs/parallelism.md``.
+
+``repro --version`` prints the package version plus every report
+schema version this build emits (bench, critpath, fuzz, journal,
+serve, status, telemetry); the ``serve`` entry is the client/daemon
+handshake token.
 """
 
 import argparse
@@ -178,6 +199,20 @@ def cmd_analyze(args):
             plan.analysis_seconds_per_kernel() * 1e3,
         )
     )
+
+
+class _VersionAction(argparse.Action):
+    """``--version``: package + schema versions, imported lazily."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs["nargs"] = 0
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.version import version_lines
+
+        print("\n".join(version_lines()))
+        parser.exit(0)
 
 
 def _emit_json(payload, destination):
@@ -776,11 +811,156 @@ def cmd_bench_trend(args):
     print(bench.format_trend(reports, metric=args.metric))
 
 
+def cmd_bench_serve(args):
+    from repro.bench import serve as sbench
+    from repro.obs.log import get_logger
+
+    log = get_logger("bench")
+    try:
+        payload = sbench.run_serve_bench(
+            url=args.url,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            burst=args.burst,
+            model=args.model,
+            baseline_repeats=args.baseline,
+            log=log.info,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    errors = sbench.validate_serve_bench_report(payload)
+    if errors:  # a bench bug, not a user error — fail loudly
+        raise AssertionError(
+            "generated serve-bench report is invalid: {}".format(errors[:3])
+        )
+    path = args.output or sbench.serve_bench_filename()
+    sbench.write_serve_bench_report(payload, path)
+    print("\n".join(sbench.format_serve_bench_report(payload)))
+    print("wrote", path)
+    coalesce = payload["phases"]["coalesce"]
+    if (
+        coalesce["completed"] != coalesce["burst"]
+        or coalesce["simulations"] != 1
+    ):
+        # the daemon failed the coalescing contract under load
+        print(
+            "COALESCE FAIL: {} of {} burst requests completed, {} "
+            "simulations (expected exactly 1)".format(
+                coalesce["completed"], coalesce["burst"],
+                coalesce["simulations"],
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_serve(args):
+    import asyncio
+
+    from repro.analysis.cache import resolve_cache_dir
+    from repro.serve.server import (
+        ReproServer,
+        ServeStartupError,
+        preflight_host,
+    )
+
+    try:
+        port = int(args.port)
+    except (TypeError, ValueError):
+        print(
+            "error: --port must be an integer (got {!r})".format(args.port),
+            file=sys.stderr,
+        )
+        return 2
+    if not 0 <= port <= 65535:
+        print(
+            "error: --port must be in 0..65535 (got {})".format(port),
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = resolve_cache_dir(
+        cache_dir=args.cache_dir, enabled=bool(args.cache_dir or args.cache)
+    )
+    try:
+        preflight_host(args.host, port)
+        server = ReproServer(
+            host=args.host,
+            port=port,
+            cache_dir=cache_dir,
+            status_file=args.status_file,
+            trace_out=args.trace_out,
+            bench_jobs=args.jobs,
+        )
+        return asyncio.run(server.run(announce=print))
+    except ServeStartupError as exc:
+        # port in use / unresolvable host: one line, exit 2, no traceback
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_client(args):
+    from repro.serve.client import ClientError, ServeClient
+
+    command = args.client_command
+    try:
+        client = ServeClient(args.url)
+        if command == "run":
+            payload = client.run(
+                args.workload,
+                model=args.model,
+                engine=args.engine,
+                journal=args.journal,
+                tb_records=args.tb_records,
+            )
+        elif command == "compare":
+            payload = client.compare(args.workload)
+        elif command == "critpath":
+            payload = client.critpath(
+                args.workload, model=args.model, whatif=args.whatif
+            )
+        elif command == "telemetry":
+            payload = client.telemetry(args.workload, model=args.model)
+        elif command == "bench":
+            payload = client.bench(
+                quick=not args.full,
+                repeats=args.repeats,
+                warmup=args.warmup,
+            )
+        elif command == "health":
+            payload = client.health()
+        elif command == "status":
+            payload = client.statusz()
+        elif command == "version":
+            payload = client.version()
+        elif command == "workloads":
+            payload = client.workloads()
+        elif command == "metrics":
+            print(client.metrics(), end="")
+            return 0
+        elif command == "events":
+            for event in client.events(max_events=args.count):
+                dump_json(event, "-")
+            return 0
+        else:  # command == "shutdown"
+            payload = client.shutdown()
+    except ClientError as exc:
+        # daemon down / refused / schema mismatch: one line, exit 2
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    _emit_json(payload, getattr(args, "json", None) or "-")
+    return 0
+
+
 def cmd_bench(args):
     handler = {
         "run": cmd_bench_run,
         "diff": cmd_bench_diff,
         "trend": cmd_bench_trend,
+        "serve": cmd_bench_serve,
         "fastpath": cmd_bench_fastpath,
         "engine": cmd_bench_engine,
     }[args.bench_command]
@@ -849,6 +1029,10 @@ def build_parser():
         "--log-json", action="store_true",
         help="emit log records as JSON lines (one object per line); "
              "same as REPRO_LOG_JSON=1",
+    )
+    parser.add_argument(
+        "--version", action=_VersionAction,
+        help="print the package version and every report-schema version",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -1324,6 +1508,170 @@ def build_parser():
         "--metric", default="wall", metavar="NAME",
         help="wall | makespan | speedup (default: wall)",
     )
+
+    b_serve = bench_sub.add_parser(
+        "serve",
+        help="load-test the serve daemon: latency quantiles, RPS, "
+             "coalescing under a concurrent burst, CLI cold-start "
+             "baseline (docs/serving.md)",
+    )
+    b_serve.add_argument(
+        "--url", default=None, metavar="URL",
+        help="bench an already-running daemon (default: spawn one for "
+             "the duration of the bench)",
+    )
+    b_serve.add_argument(
+        "--requests", type=int, default=24, metavar="N",
+        help="requests per load phase (default: 24)",
+    )
+    b_serve.add_argument(
+        "--concurrency", type=int, default=4, metavar="C",
+        help="client threads in the throughput phase (default: 4)",
+    )
+    b_serve.add_argument(
+        "--burst", type=int, default=8, metavar="N",
+        help="simultaneous identical requests in the coalesce phase "
+             "(default: 8)",
+    )
+    b_serve.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3",
+    )
+    b_serve.add_argument(
+        "--baseline", type=int, default=1, metavar="N",
+        help="one-shot CLI subprocess runs for the cold-start "
+             "baseline; 0 skips it (default: 1)",
+    )
+    b_serve.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="report path (default: SERVEBENCH_<UTC>.json)",
+    )
+
+    from repro.serve import DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running simulation daemon: run/compare/critpath/"
+             "telemetry/bench over HTTP with request coalescing, "
+             "/metrics, /healthz, /statusz, /events (docs/serving.md)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="bind address (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", default=str(DEFAULT_PORT), metavar="PORT",
+        help="TCP port; 0 picks an ephemeral one (default: {})".format(
+            DEFAULT_PORT
+        ),
+    )
+    p_serve.add_argument(
+        "--cache", action="store_true",
+        help="persist launch-time analysis in the default cache dir "
+             "(~/.cache/repro, or $REPRO_CACHE_DIR)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist launch-time analysis in DIR (implies --cache)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for /v1/bench suites (default: 1)",
+    )
+    p_serve.add_argument(
+        "--status-file", default=None, metavar="FILE",
+        help="atomically rewrite a repro-status JSON snapshot here on "
+             "every heartbeat (same schema as bench --status-file)",
+    )
+    p_serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace of serve.request spans (with "
+             "request ids) at shutdown",
+    )
+
+    p_client = sub.add_parser(
+        "client",
+        help="talk to a running serve daemon "
+             "($REPRO_SERVE_URL or http://127.0.0.1:{})".format(
+                 DEFAULT_PORT
+             ),
+    )
+    p_client.add_argument(
+        "--url", default=None, metavar="URL",
+        help="daemon base URL (default: $REPRO_SERVE_URL or "
+             "http://127.0.0.1:{})".format(DEFAULT_PORT),
+    )
+    client_sub = p_client.add_subparsers(
+        dest="client_command", required=True
+    )
+
+    c_run = client_sub.add_parser("run", help="simulate one workload")
+    c_run.add_argument("workload")
+    c_run.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3"
+    )
+    c_run.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default=None,
+        help="pin the daemon's simulation-engine tier for this request",
+    )
+    c_run.add_argument(
+        "--journal", action="store_true",
+        help="include the run's journal digest in the response",
+    )
+    c_run.add_argument(
+        "--tb-records", action="store_true",
+        help="include per-thread-block records in the response",
+    )
+
+    c_compare = client_sub.add_parser(
+        "compare", help="all roster models on one workload"
+    )
+    c_compare.add_argument("workload")
+
+    c_cp = client_sub.add_parser(
+        "critpath", help="critical-path report for one workload"
+    )
+    c_cp.add_argument("workload")
+    c_cp.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3"
+    )
+    c_cp.add_argument("--whatif", action="store_true")
+
+    c_tm = client_sub.add_parser(
+        "telemetry", help="telemetry report for one workload"
+    )
+    c_tm.add_argument("workload")
+    c_tm.add_argument(
+        "--model", choices=MODEL_CHOICES, default="consumer3"
+    )
+
+    c_bench = client_sub.add_parser(
+        "bench", help="run a bench suite inside the daemon"
+    )
+    c_bench.add_argument(
+        "--full", action="store_true",
+        help="full suite instead of the quick set",
+    )
+    c_bench.add_argument("--repeats", type=int, default=None, metavar="N")
+    c_bench.add_argument("--warmup", type=int, default=None, metavar="N")
+
+    client_sub.add_parser("health", help="GET /healthz")
+    client_sub.add_parser("status", help="GET /statusz")
+    client_sub.add_parser("version", help="GET /version")
+    client_sub.add_parser("workloads", help="GET /workloads")
+    client_sub.add_parser(
+        "metrics", help="GET /metrics (raw Prometheus text)"
+    )
+    c_events = client_sub.add_parser(
+        "events", help="tail the /events SSE stream as JSON lines"
+    )
+    c_events.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="stop after N events (default: until the stream closes)",
+    )
+    client_sub.add_parser(
+        "shutdown", help="ask the daemon to shut down gracefully"
+    )
+
     return parser
 
 
@@ -1345,6 +1693,8 @@ COMMANDS = {
     "experiments": cmd_experiments,
     "ablations": cmd_ablations,
     "bench": cmd_bench,
+    "serve": cmd_serve,
+    "client": cmd_client,
 }
 
 

@@ -31,6 +31,7 @@ every tick atomically rewrites a machine-readable JSON status file
 eventually ``repro serve`` — can poll.
 """
 
+import itertools
 import json
 import os
 import sys
@@ -176,6 +177,66 @@ def get_logger(subsystem):
 STATUS_KIND = "repro-status"
 STATUS_SCHEMA_VERSION = 1
 
+#: per-process sequence for tmp-file names: concurrent writers (e.g.
+#: the serve daemon's heartbeat vs a request handler thread) must not
+#: share a tmp path, or one can rename the other's half-written file
+_status_tmp_seq = itertools.count()
+
+
+def write_status_snapshot(payload, path):
+    """Atomically rewrite a status snapshot at ``path``.
+
+    tmp + ``os.replace``: a concurrent poller either sees the previous
+    complete snapshot or the new one, never a partial file.  This is
+    the exact contract the serve daemon's ``/statusz`` endpoint and the
+    ``--status-file`` flags share (and tests gate under concurrency).
+    """
+    tmp = "{}.tmp.{}.{}".format(
+        path, os.getpid(), next(_status_tmp_seq)
+    )
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def validate_status_snapshot(payload):
+    """Schema-check a ``repro-status`` snapshot; returns error strings."""
+    errors = []
+    if not isinstance(payload, dict):
+        return ["snapshot is not an object"]
+    if payload.get("kind") != STATUS_KIND:
+        errors.append("kind: expected {!r}".format(STATUS_KIND))
+    if payload.get("schema_version") != STATUS_SCHEMA_VERSION:
+        errors.append(
+            "schema_version: expected {}".format(STATUS_SCHEMA_VERSION)
+        )
+    if not isinstance(payload.get("phase"), str):
+        errors.append("phase: expected a string")
+    for key in ("completed", "total"):
+        value = payload.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append("{}: expected a non-negative integer".format(key))
+    current = payload.get("current")
+    if current is not None and not isinstance(current, str):
+        errors.append("current: expected a string or null")
+    elapsed = payload.get("elapsed_s")
+    if not isinstance(elapsed, (int, float)) or isinstance(elapsed, bool) \
+            or elapsed < 0:
+        errors.append("elapsed_s: expected a non-negative number")
+    eta = payload.get("eta_s")
+    if eta is not None and (
+        not isinstance(eta, (int, float)) or isinstance(eta, bool) or eta < 0
+    ):
+        errors.append("eta_s: expected a non-negative number or null")
+    if not isinstance(payload.get("done"), bool):
+        errors.append("done: expected a boolean")
+    pid = payload.get("pid")
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
+        errors.append("pid: expected a positive integer")
+    return errors
+
 
 class Heartbeat:
     """Live progress for a multi-cell run: TTY line + JSON status file.
@@ -259,13 +320,8 @@ class Heartbeat:
     def _write_status(self, done=False):
         if not self.status_path:
             return
-        payload = self.snapshot(done=done)
-        tmp = "{}.tmp.{}".format(self.status_path, os.getpid())
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, sort_keys=True)
-            handle.write("\n")
         # atomic replace: a poller never sees a half-written file
-        os.replace(tmp, self.status_path)
+        write_status_snapshot(self.snapshot(done=done), self.status_path)
 
     def _draw(self):
         if not self._tty:

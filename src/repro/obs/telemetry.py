@@ -778,35 +778,35 @@ def emit_telemetry_counters(tracer, report):
 
 
 def _prom_escape(value):
-    return (
-        str(value)
-        .replace("\\", "\\\\")
-        .replace('"', '\\"')
-        .replace("\n", "\\n")
-    )
+    # kept as an alias: the escaping now lives in repro.obs.prom, the
+    # exposition module shared with the serve daemon's /metrics endpoint
+    from repro.obs.prom import escape_label_value
+
+    return escape_label_value(value)
 
 
 def write_prometheus(report):
     """Render the report as a Prometheus text exposition (version 0.0.4).
 
-    This is the machine-readable metrics surface the future ``repro
-    serve`` daemon will mount at ``/metrics``; it is hand-rolled so the
-    repo stays dependency-free.
+    This is the machine-readable metrics surface the ``repro serve``
+    daemon mounts at ``/metrics``; the line-level writer is the shared
+    :class:`repro.obs.prom.PromWriter` (hand-rolled so the repo stays
+    dependency-free), and this function's output is byte-identical to
+    the pre-extraction telemetry writer.
     """
+    from repro.obs.prom import PromWriter
+
     base = 'workload="{}",model="{}"'.format(
         _prom_escape(report["workload"]), _prom_escape(report["model"])
     )
     utilization = report["utilization"]
     overlap = report["overlap"]
     bubbles = report["bubbles"]
-    lines = []
+    writer = PromWriter()
 
     def emit(name, help_text, value, extra_labels=""):
-        if not any(line.startswith("# HELP {} ".format(name)) for line in lines):
-            lines.append("# HELP {} {}".format(name, help_text))
-            lines.append("# TYPE {} gauge".format(name))
         labels = base + ("," + extra_labels if extra_labels else "")
-        lines.append("{}{{{}}} {}".format(name, labels, repr(float(value))))
+        writer.emit(name, help_text, value, labels=labels)
 
     emit("repro_makespan_ns", "Simulated makespan.", report["makespan_ns"])
     emit(
@@ -868,7 +868,7 @@ def write_prometheus(report):
             bubbles["blame_ns"].get(blame, 0.0),
             extra_labels='blame="{}"'.format(blame),
         )
-    return "\n".join(lines) + "\n"
+    return writer.render()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,72 @@
+"""Package + report-schema version surface (``repro --version``).
+
+Every schema-versioned artifact family the toolkit emits is collected
+here so one flag (and the serve daemon's ``/version`` endpoint) answers
+"which schemas does this build speak":
+
+* ``bench``     — ``repro-bench-report`` (``repro.bench.schema``)
+* ``critpath``  — ``repro-critpath-report`` (``repro.obs.critpath``)
+* ``fuzz``      — ``repro-fuzz-report`` (``repro.fuzz.runner``)
+* ``fuzz_case`` — ``repro-fuzz-case`` (``repro.fuzz.shrink``)
+* ``journal``   — ``repro-journal`` (``repro.obs.journal``)
+* ``serve``     — the serve daemon's request/response envelope
+* ``serve_bench`` — ``repro-serve-bench-report`` (``repro.bench.serve``)
+* ``status``    — ``repro-status`` snapshots (``repro.obs.log``)
+* ``telemetry`` — ``repro-telemetry-report`` (``repro.obs.telemetry``)
+
+The ``serve`` entry is the client/daemon handshake token: a client
+whose ``serve`` schema differs from the daemon's refuses the session
+with a clear error instead of mis-parsing responses.
+"""
+
+#: fallback when the package metadata is unavailable (e.g. running from
+#: a source checkout via PYTHONPATH); keep in sync with pyproject.toml
+__version__ = "1.0.0"
+
+
+def package_version():
+    """The installed distribution version, else the source fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
+
+
+def schema_versions():
+    """Every report-schema version this build emits, by family name."""
+    from repro.bench.schema import SCHEMA_VERSION as bench_version
+    from repro.bench.serve import SERVE_BENCH_SCHEMA_VERSION
+    from repro.fuzz.runner import FUZZ_REPORT_SCHEMA_VERSION
+    from repro.fuzz.shrink import CASE_SCHEMA_VERSION
+    from repro.obs.critpath import CRITPATH_SCHEMA_VERSION
+    from repro.obs.journal import JOURNAL_SCHEMA_VERSION
+    from repro.obs.log import STATUS_SCHEMA_VERSION
+    from repro.obs.telemetry import TELEMETRY_SCHEMA_VERSION
+    from repro.serve import SERVE_SCHEMA_VERSION
+
+    return {
+        "bench": bench_version,
+        "critpath": CRITPATH_SCHEMA_VERSION,
+        "fuzz": FUZZ_REPORT_SCHEMA_VERSION,
+        "fuzz_case": CASE_SCHEMA_VERSION,
+        "journal": JOURNAL_SCHEMA_VERSION,
+        "serve": SERVE_SCHEMA_VERSION,
+        "serve_bench": SERVE_BENCH_SCHEMA_VERSION,
+        "status": STATUS_SCHEMA_VERSION,
+        "telemetry": TELEMETRY_SCHEMA_VERSION,
+    }
+
+
+def version_lines():
+    """The ``repro --version`` text: package line + one schema line."""
+    schemas = schema_versions()
+    return [
+        "repro {}".format(package_version()),
+        "schemas: " + " ".join(
+            "{}={}".format(name, schemas[name]) for name in sorted(schemas)
+        ),
+    ]

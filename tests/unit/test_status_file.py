@@ -1,0 +1,202 @@
+"""The ``--status-file`` poll surface, hammered under concurrency.
+
+PR 6 introduced atomically-rewritten ``repro-status`` snapshots; this
+PR promotes the write + validate pair to shared helpers
+(:func:`repro.obs.log.write_status_snapshot` /
+:func:`~repro.obs.log.validate_status_snapshot`) because the serve
+daemon's ``/statusz`` and ``--status-file`` reuse them.  The contract
+under test: a poller reading the file at any moment — including while
+a writer is mid-rewrite — sees a complete, schema-valid JSON snapshot,
+never a partial or empty file.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.log import (
+    Heartbeat,
+    STATUS_KIND,
+    STATUS_SCHEMA_VERSION,
+    validate_status_snapshot,
+    write_status_snapshot,
+)
+
+
+def _snapshot(completed=0, total=10, done=False):
+    return {
+        "kind": STATUS_KIND,
+        "schema_version": STATUS_SCHEMA_VERSION,
+        "phase": "bench",
+        "completed": completed,
+        "total": total,
+        "current": "mvt/consumer3",
+        "elapsed_s": 1.5,
+        "eta_s": 3.0,
+        "done": done,
+        "pid": os.getpid(),
+    }
+
+
+class TestWriteStatusSnapshot:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        write_status_snapshot(_snapshot(completed=3), path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["completed"] == 3
+        assert validate_status_snapshot(loaded) == []
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        write_status_snapshot(_snapshot(), path)
+        assert os.listdir(str(tmp_path)) == ["status.json"]
+
+    def test_overwrite_replaces_content(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        write_status_snapshot(_snapshot(completed=1), path)
+        write_status_snapshot(_snapshot(completed=2, done=True), path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["completed"] == 2
+        assert loaded["done"] is True
+
+
+class TestValidateStatusSnapshot:
+    def test_valid_snapshot_passes(self):
+        assert validate_status_snapshot(_snapshot()) == []
+
+    def test_serve_shape_with_extra_fields_passes(self):
+        payload = _snapshot()
+        payload.update(
+            {"phase": "serve", "current": None, "eta_s": None,
+             "inflight": 0, "cache_entries": 5, "url": "http://x:1"}
+        )
+        assert validate_status_snapshot(payload) == []
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"kind": "other"},
+            {"schema_version": 99},
+            {"completed": -1},
+            {"completed": "three"},
+            {"completed": True},      # bool is not an int count
+            {"total": None},
+            {"elapsed_s": -0.1},
+            {"eta_s": -2.0},
+            {"done": "yes"},
+            {"pid": 0},
+            {"phase": 7},
+        ],
+    )
+    def test_broken_snapshot_flagged(self, mutation):
+        payload = _snapshot()
+        payload.update(mutation)
+        assert validate_status_snapshot(payload), mutation
+
+    def test_non_dict_flagged(self):
+        assert validate_status_snapshot([1, 2]) != []
+
+
+class TestConcurrentPolling:
+    """Writer hammering the file; readers must never see a torn state."""
+
+    def test_reader_never_observes_partial_snapshot(self, tmp_path):
+        path = str(tmp_path / "status.json")
+        write_status_snapshot(_snapshot(completed=0), path)
+        stop = threading.Event()
+        problems = []
+
+        def writer():
+            step = 0
+            while not stop.is_set():
+                step += 1
+                write_status_snapshot(
+                    _snapshot(completed=step, total=step + 1), path
+                )
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    with open(path) as handle:
+                        text = handle.read()
+                    loaded = json.loads(text)
+                except (ValueError, OSError) as exc:
+                    problems.append("unreadable: {}".format(exc))
+                    continue
+                errors = validate_status_snapshot(loaded)
+                if errors:
+                    problems.append("invalid: {}".format(errors))
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert problems == []
+
+    def test_multiple_writers_single_file(self, tmp_path):
+        """Concurrent writers (distinct pids simulated by distinct tmp
+        suffixes in-process) still leave one valid snapshot behind."""
+        path = str(tmp_path / "status.json")
+        stop = threading.Event()
+        errors = []
+
+        def writer(worker):
+            step = 0
+            while not stop.is_set():
+                step += 1
+                try:
+                    write_status_snapshot(
+                        _snapshot(completed=step, total=step + worker),
+                        path,
+                    )
+                except OSError as exc:
+                    errors.append(str(exc))
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert errors == []
+        with open(path) as handle:
+            assert validate_status_snapshot(json.load(handle)) == []
+
+
+class TestHeartbeatStatusFile:
+    def test_heartbeat_snapshots_validate(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        heartbeat = Heartbeat(
+            total=4, phase="bench", status_path=path,
+            stream=open(os.devnull, "w"),
+        )
+        for label in ("a", "b"):
+            heartbeat.tick(label)
+            with open(path) as handle:
+                loaded = json.load(handle)
+            assert validate_status_snapshot(loaded) == []
+            assert loaded["phase"] == "bench"
+        heartbeat.finish()
+        with open(path) as handle:
+            final = json.load(handle)
+        assert validate_status_snapshot(final) == []
+        assert final["done"] is True
+
+    def test_serve_statusz_validates(self):
+        """The daemon's live /statusz payload speaks the same schema."""
+        from repro.serve.server import ReproServer
+
+        server = ReproServer()
+        assert validate_status_snapshot(server.status_snapshot()) == []
